@@ -1,0 +1,118 @@
+// Command distgnn-train trains GraphSAGE full-batch on a synthetic
+// benchmark dataset, either on a single simulated socket or distributed
+// across simulated sockets with one of the paper's three algorithms.
+//
+// Examples:
+//
+//	distgnn-train -dataset reddit-sim -epochs 50 -lr 0.01
+//	distgnn-train -dataset ogbn-products-sim -sockets 8 -algo cd-r -delay 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"distgnn/internal/datasets"
+	"distgnn/internal/graphio"
+	"distgnn/internal/model"
+	"distgnn/internal/nn"
+	"distgnn/internal/train"
+)
+
+func main() {
+	dataset := flag.String("dataset", "reddit-sim",
+		"dataset name: "+strings.Join(datasets.Names(), ", "))
+	scale := flag.Float64("scale", 0.5, "dataset scale factor")
+	file := flag.String("file", "", "load a dataset file written by distgnn-datagen instead of generating")
+	sockets := flag.Int("sockets", 1, "number of simulated CPU sockets (partitions)")
+	algo := flag.String("algo", "cd-0", "distributed algorithm: 0c, cd-0, cd-r")
+	delay := flag.Int("delay", 5, "delay r for cd-r")
+	epochs := flag.Int("epochs", 30, "training epochs")
+	lr := flag.Float64("lr", 0.01, "learning rate")
+	wd := flag.Float64("wd", 5e-4, "weight decay")
+	adam := flag.Bool("adam", true, "use Adam (false = SGD)")
+	hidden := flag.Int("hidden", 64, "hidden layer width")
+	layers := flag.Int("layers", 3, "number of GraphSAGE layers")
+	seed := flag.Int64("seed", 1, "random seed")
+	save := flag.String("save", "", "write trained model parameters to this file (single-socket mode)")
+	flag.Parse()
+
+	var ds *datasets.Dataset
+	var err error
+	name := *dataset
+	if *file != "" {
+		f, ferr := os.Open(*file)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		ds, err = graphio.ReadDataset(f)
+		f.Close()
+		name = *file
+	} else {
+		ds, err = datasets.Load(*dataset, *scale)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s: %d vertices, %d edges (avg degree %.1f), %d features, %d classes\n",
+		name, ds.G.NumVertices, ds.G.NumEdges, ds.G.AvgDegree(),
+		ds.Features.Cols, ds.NumClasses)
+
+	mc := model.Config{Hidden: *hidden, NumLayers: *layers, Seed: *seed}
+	if *sockets <= 1 {
+		res, err := train.SingleSocket(ds, train.SingleConfig{
+			Model: mc, Epochs: *epochs, LR: *lr, WeightDecay: *wd, UseAdam: *adam,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for e, st := range res.Epochs {
+			if e%5 == 0 || e == len(res.Epochs)-1 {
+				fmt.Printf("epoch %3d  loss %.4f  time %v (AP %v)\n",
+					e, st.Loss, st.Total, st.Agg)
+			}
+		}
+		fmt.Printf("accuracy: train %.2f%%  val %.2f%%  test %.2f%%\n",
+			100*res.TrainAcc, 100*res.ValAcc, 100*res.TestAcc)
+		if *save != "" {
+			f, err := os.Create(*save)
+			if err != nil {
+				fatal(err)
+			}
+			if err := nn.WriteParams(f, res.Model.Params()); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("checkpoint written to %s\n", *save)
+		}
+		return
+	}
+
+	res, err := train.Distributed(ds, train.DistConfig{
+		Model: mc, NumPartitions: *sockets, Algo: train.Algorithm(*algo),
+		Delay: *delay, Epochs: *epochs, LR: *lr, WeightDecay: *wd,
+		UseAdam: *adam, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("partitioning: replication factor %.2f, edge balance %.3f\n",
+		res.Replication, res.EdgeBalance)
+	for e, st := range res.Epochs {
+		if e%5 == 0 || e == len(res.Epochs)-1 {
+			fmt.Printf("epoch %3d  loss %.4f  sim epoch %.3fms (LAT %.3fms RAT %.3fms)\n",
+				e, st.Loss, st.Epoch*1e3, st.LAT*1e3, st.RAT*1e3)
+		}
+	}
+	fmt.Printf("accuracy: train %.2f%%  test %.2f%%\n", 100*res.TrainAcc, 100*res.TestAcc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distgnn-train:", err)
+	os.Exit(1)
+}

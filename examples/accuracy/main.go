@@ -1,0 +1,54 @@
+// Accuracy-vs-delay study: sweep the DRPA delay parameter r and measure
+// test accuracy against the synchronous cd-0 reference — the paper's §6.3
+// finding that r=5 costs ≲1% accuracy while r=10 degrades it through
+// increasingly stale partial aggregates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distgnn/internal/datasets"
+	"distgnn/internal/model"
+	"distgnn/internal/train"
+)
+
+func main() {
+	ds, err := datasets.Load("reddit-sim", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const sockets = 8
+	const epochs = 80
+
+	run := func(algo train.Algorithm, delay int) *train.DistResult {
+		res, err := train.Distributed(ds, train.DistConfig{
+			Model:         model.Config{Hidden: 16, NumLayers: 2, Seed: 1},
+			NumPartitions: sockets,
+			Algo:          algo,
+			Delay:         delay,
+			Epochs:        epochs,
+			LR:            0.02,
+			UseAdam:       true,
+			Seed:          1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	ref := run(train.AlgoCD0, 0)
+	fmt.Printf("reddit-sim on %d sockets, %d epochs\n\n", sockets, epochs)
+	fmt.Printf("%-8s %-10s %s\n", "run", "test acc", "Δ vs cd-0")
+	fmt.Printf("%-8s %-10s -\n", "cd-0", fmt.Sprintf("%.2f%%", 100*ref.TestAcc))
+	for _, r := range []int{1, 2, 5, 10} {
+		res := run(train.AlgoCDR, r)
+		fmt.Printf("%-8s %-10s %+.2f%%\n",
+			fmt.Sprintf("cd-%d", r), fmt.Sprintf("%.2f%%", 100*res.TestAcc),
+			100*(res.TestAcc-ref.TestAcc))
+	}
+	zero := run(train.Algo0C, 0)
+	fmt.Printf("%-8s %-10s %+.2f%%\n", "0c",
+		fmt.Sprintf("%.2f%%", 100*zero.TestAcc), 100*(zero.TestAcc-ref.TestAcc))
+}

@@ -1,0 +1,59 @@
+// Distributed training: run the three §5.3 algorithms — 0c (no
+// communication), cd-0 (synchronous partial-aggregate exchange) and cd-5
+// (delayed, overlapped exchange) — on a simulated 8-socket cluster and
+// compare their simulated epoch time, communication split and accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distgnn/internal/datasets"
+	"distgnn/internal/model"
+	"distgnn/internal/train"
+)
+
+func main() {
+	ds, err := datasets.Load("ogbn-products-sim", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ogbn-products-sim: %d vertices, %d edges across 8 simulated sockets\n\n",
+		ds.G.NumVertices, ds.G.NumEdges)
+
+	fmt.Printf("%-6s %-12s %-10s %-10s %-10s %s\n",
+		"algo", "epoch (sim)", "LAT", "RAT", "test acc", "replication")
+	for _, tc := range []struct {
+		algo  train.Algorithm
+		delay int
+	}{{train.AlgoCD0, 0}, {train.AlgoCDR, 5}, {train.Algo0C, 0}} {
+		res, err := train.Distributed(ds, train.DistConfig{
+			Model:         model.Config{Hidden: 64, NumLayers: 3, Seed: 1},
+			NumPartitions: 8,
+			Algo:          tc.algo,
+			Delay:         tc.delay,
+			Epochs:        40,
+			LR:            0.02,
+			UseAdam:       true,
+			Seed:          1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo := 1
+		if tc.algo == train.AlgoCDR {
+			lo = 2 * tc.delay
+		}
+		lat, rat := res.AvgLATRAT(lo, 40)
+		label := string(tc.algo)
+		if tc.algo == train.AlgoCDR {
+			label = fmt.Sprintf("cd-%d", tc.delay)
+		}
+		fmt.Printf("%-6s %-12s %-10s %-10s %-10s %.2f\n",
+			label, fmt.Sprintf("%.3fms", 1e3*res.AvgEpochSeconds(lo, 40)),
+			fmt.Sprintf("%.3fms", 1e3*lat), fmt.Sprintf("%.3fms", 1e3*rat),
+			fmt.Sprintf("%.1f%%", 100*res.TestAcc), res.Replication)
+	}
+	fmt.Println("\nExpected shape: 0c fastest / cd-0 slowest; cd-5 hides the network")
+	fmt.Println("term (RAT ≈ pre/post processing only) at a small accuracy cost.")
+}

@@ -1,0 +1,58 @@
+// Heterograph training: build a typed version of the AM dataset (artifacts
+// linked through typed relations) and train RGCN-hetero on it — the
+// workload of Fig. 2(d) in the paper — comparing the baseline and optimized
+// aggregation kernels.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"distgnn/internal/hetero"
+	"distgnn/internal/nn"
+)
+
+func main() {
+	const relations = 6
+	ds, tg, err := hetero.SyntheticAM(0.25, relations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("am-sim heterograph: %d vertices, %d edges across %d relations\n",
+		tg.G.NumVertices, tg.G.NumEdges, tg.NumRelations)
+	fmt.Printf("edges per relation: %v\n\n", tg.RelationEdgeCounts())
+
+	for _, baseline := range []bool{true, false} {
+		m, err := hetero.NewRGCN(tg, hetero.RGCNConfig{
+			InDim: ds.Features.Cols, Hidden: 16, OutDim: ds.NumClasses,
+			NumLayers: 2, UseBaselineAgg: baseline, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		adam := nn.NewAdam(0.02, 0)
+		params := m.Params()
+		start := time.Now()
+		m.ResetAggTime()
+		var lastLoss float64
+		const epochs = 25
+		for e := 0; e < epochs; e++ {
+			logits := m.Forward(ds.Features, true)
+			loss, dlogits := nn.MaskedCrossEntropy(logits, ds.Labels, ds.TrainIdx)
+			lastLoss = loss
+			nn.ZeroGrads(params)
+			m.Backward(dlogits)
+			adam.Step(params)
+		}
+		elapsed := time.Since(start)
+		logits := m.Forward(ds.Features, false)
+		arm := "optimized AP"
+		if baseline {
+			arm = "baseline AP "
+		}
+		fmt.Printf("%s: %2d epochs in %-12v (AP %v), final loss %.4f, test acc %.1f%%\n",
+			arm, epochs, elapsed, m.AggTime, lastLoss,
+			100*nn.Accuracy(logits, ds.Labels, ds.TestIdx))
+	}
+}

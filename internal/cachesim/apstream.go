@@ -1,0 +1,113 @@
+package cachesim
+
+import "distgnn/internal/graph"
+
+// APConfig describes one simulated aggregation run.
+type APConfig struct {
+	// NumBlocks is nB of Alg. 2.
+	NumBlocks int
+	// FeatureBytes is the size of one feature vector (d × 4).
+	FeatureBytes int
+	// CacheBytes is the modeled cache capacity (per-socket LLC share).
+	CacheBytes int
+	// ReorderedOutput models the Alg. 3 loop reordering: the output tile is
+	// held in registers, so f_O rows do not occupy cache and are moved
+	// to/from memory exactly once per (block, active vertex). When false,
+	// f_O rows compete with f_V for cache space.
+	ReorderedOutput bool
+}
+
+// APStats are the counters the paper reports.
+type APStats struct {
+	// FVAccesses / FVMisses count f_V feature-vector touches; their ratio
+	// is Table 3's cache reuse.
+	FVAccesses int64
+	FVMisses   int64
+	// BytesRead / BytesWritten are total DRAM traffic, including f_V
+	// fetches, f_O read-modify-writes per block pass, and the CSR index
+	// structure streams (Fig. 3).
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// ReuseFactor returns the average number of uses per f_V vector load —
+// Table 3's metric. Ideal reuse equals the graph's average degree.
+func (s APStats) ReuseFactor() float64 {
+	if s.FVMisses == 0 {
+		return 0
+	}
+	return float64(s.FVAccesses) / float64(s.FVMisses)
+}
+
+// TotalIO returns read+written bytes — the quantity Fig. 3 shows correlates
+// with execution time.
+func (s APStats) TotalIO() int64 { return s.BytesRead + s.BytesWritten }
+
+// EffectiveReuse is the traffic-derived reuse the paper's Table 3 reports:
+// useful f_V bytes consumed per byte actually read from memory. Unlike
+// ReuseFactor it *falls* again at high block counts, because every extra
+// pass over f_O inflates the read traffic — exactly the rising tail of
+// Fig. 3 that defines the blocking sweet spot.
+func (s APStats) EffectiveReuse(featureBytes int) float64 {
+	if s.BytesRead == 0 {
+		return 0
+	}
+	return float64(s.FVAccesses) * float64(featureBytes) / float64(s.BytesRead)
+}
+
+// fOKeyBase separates f_O keys from f_V keys in the shared cache.
+const fOKeyBase = uint64(1) << 40
+
+// SimulateAP replays the access stream of the blocked aggregation kernel
+// (Alg. 2, ⊗=copylhs) over g through an LRU cache and returns the traffic
+// counters. The stream is the sequential projection of the parallel kernel:
+// blocks outermost, destinations in order, sources per the block CSR — the
+// same stream every thread collectively produces.
+func SimulateAP(g *graph.CSR, cfg APConfig) APStats {
+	if cfg.NumBlocks < 1 {
+		cfg.NumBlocks = 1
+	}
+	blocked := graph.NewBlocked(g, cfg.NumBlocks)
+	cache := NewLRU(cfg.CacheBytes)
+	var st APStats
+	vec := int64(cfg.FeatureBytes)
+
+	for _, blk := range blocked.Blocks {
+		// Per block pass: stream the block's index structure once.
+		st.BytesRead += int64(blk.NumEdges)*4 + int64(g.NumVertices+1)*4
+		for v := 0; v < blk.NumVertices; v++ {
+			nbr := blk.InNeighbors(v)
+			if len(nbr) == 0 {
+				continue
+			}
+			for _, u := range nbr {
+				st.FVAccesses++
+				if !cache.Access(uint64(u), cfg.FeatureBytes) {
+					st.FVMisses++
+					st.BytesRead += vec
+				}
+			}
+			// f_O[v] is read-modified-written once per active block pass.
+			st.BytesRead += vec
+			st.BytesWritten += vec
+			if !cfg.ReorderedOutput {
+				// Without loop reordering the output row also occupies
+				// cache, evicting f_V entries.
+				cache.Access(fOKeyBase|uint64(v), cfg.FeatureBytes)
+			}
+		}
+	}
+	return st
+}
+
+// SweepBlocks runs SimulateAP for each block count and returns the stats,
+// the raw material for Table 3 and Fig. 3.
+func SweepBlocks(g *graph.CSR, cfg APConfig, blockCounts []int) []APStats {
+	out := make([]APStats, len(blockCounts))
+	for i, nB := range blockCounts {
+		c := cfg
+		c.NumBlocks = nB
+		out[i] = SimulateAP(g, c)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+// Package cachesim models the CPU cache behaviour of the aggregation
+// primitive. Table 3 and Figures 3–4 of the paper are statements about the
+// AP's memory access stream — feature-vector reuse and bytes moved to/from
+// DRAM as a function of the cache-block count nB. This package replays the
+// exact access stream of the blocked kernel (Alg. 2) through an LRU cache
+// and reports those counters, standing in for the hardware performance
+// counters the authors used.
+package cachesim
+
+import "container/list"
+
+// LRU is a fully associative least-recently-used cache with a byte-capacity
+// budget and variable-size entries (one entry per feature vector).
+type LRU struct {
+	capacity int
+	used     int
+	order    *list.List // front = most recent; values are *entry
+	index    map[uint64]*list.Element
+}
+
+type entry struct {
+	key  uint64
+	size int
+}
+
+// NewLRU creates a cache holding up to capacityBytes of entries.
+func NewLRU(capacityBytes int) *LRU {
+	return &LRU{
+		capacity: capacityBytes,
+		order:    list.New(),
+		index:    make(map[uint64]*list.Element),
+	}
+}
+
+// Access touches key, inserting it with the given size on a miss and
+// evicting LRU entries to fit. Returns whether the access hit. Entries
+// larger than the whole cache are never resident (every access misses).
+func (c *LRU) Access(key uint64, size int) bool {
+	if el, ok := c.index[key]; ok {
+		c.order.MoveToFront(el)
+		return true
+	}
+	if size > c.capacity {
+		return false
+	}
+	for c.used+size > c.capacity {
+		back := c.order.Back()
+		ev := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.index, ev.key)
+		c.used -= ev.size
+	}
+	c.index[key] = c.order.PushFront(&entry{key: key, size: size})
+	c.used += size
+	return false
+}
+
+// Contains reports residency without touching recency.
+func (c *LRU) Contains(key uint64) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Used returns the bytes currently resident.
+func (c *LRU) Used() int { return c.used }
+
+// Len returns the number of resident entries.
+func (c *LRU) Len() int { return c.order.Len() }
+
+// Reset evicts everything.
+func (c *LRU) Reset() {
+	c.order.Init()
+	c.index = make(map[uint64]*list.Element)
+	c.used = 0
+}

@@ -1,0 +1,100 @@
+package comm
+
+import "fmt"
+
+// Additional collectives rounding out the OneCCL surface the paper's
+// torch.distributed integration uses. All share the deterministic,
+// rank-ordered semantics of AllReduceSum.
+
+// Broadcast copies root's buffer into every rank's buffer. All ranks must
+// pass equal-length buffers and the same root.
+func (w *World) Broadcast(rank, root int, data []float32) {
+	if root < 0 || root >= w.N {
+		panic(fmt.Sprintf("comm: broadcast root %d outside world of %d", root, w.N))
+	}
+	w.mu.Lock()
+	w.slots[rank] = data
+	w.arriveLocked()
+	src := w.slots[root]
+	w.mu.Unlock()
+
+	if len(src) != len(data) {
+		panic(fmt.Sprintf("comm: broadcast length mismatch: rank %d has %d, root has %d",
+			rank, len(data), len(src)))
+	}
+	var out []float32
+	if rank != root {
+		out = make([]float32, len(src))
+		copy(out, src)
+	}
+
+	w.mu.Lock()
+	w.arriveLocked()
+	w.slots[rank] = nil
+	w.mu.Unlock()
+	if rank != root {
+		copy(data, out)
+	}
+}
+
+// AllGather concatenates every rank's buffer in rank order; each rank
+// receives the full concatenation. Buffers may have different lengths.
+func (w *World) AllGather(rank int, data []float32) []float32 {
+	w.mu.Lock()
+	w.slots[rank] = data
+	w.arriveLocked()
+	slots := make([][]float32, w.N)
+	copy(slots, w.slots)
+	w.mu.Unlock()
+
+	total := 0
+	for _, s := range slots {
+		total += len(s)
+	}
+	out := make([]float32, 0, total)
+	for _, s := range slots {
+		out = append(out, s...)
+	}
+
+	w.mu.Lock()
+	w.arriveLocked()
+	w.slots[rank] = nil
+	w.mu.Unlock()
+	return out
+}
+
+// ReduceScatterSum splits each rank's buffer into N equal chunks, sums
+// chunk i across ranks, and returns chunk `rank`'s sum — the first half of
+// a ring AllReduce. Buffer length must be a multiple of N and equal on all
+// ranks.
+func (w *World) ReduceScatterSum(rank int, data []float32) []float32 {
+	if len(data)%w.N != 0 {
+		panic(fmt.Sprintf("comm: reduce-scatter length %d not divisible by world size %d",
+			len(data), w.N))
+	}
+	w.mu.Lock()
+	w.slots[rank] = data
+	w.arriveLocked()
+	slots := make([][]float32, w.N)
+	copy(slots, w.slots)
+	w.mu.Unlock()
+
+	chunk := len(data) / w.N
+	out := make([]float32, chunk)
+	for r := 0; r < w.N; r++ {
+		src := slots[r]
+		if len(src) != len(data) {
+			panic(fmt.Sprintf("comm: reduce-scatter length mismatch: rank %d has %d, rank %d has %d",
+				rank, len(data), r, len(src)))
+		}
+		for i := 0; i < chunk; i++ {
+			out[i] += src[rank*chunk+i]
+		}
+	}
+
+	w.mu.Lock()
+	w.arriveLocked()
+	w.slots[rank] = nil
+	w.mu.Unlock()
+	return out
+}

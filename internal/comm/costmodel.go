@@ -1,0 +1,117 @@
+package comm
+
+import (
+	"sync"
+	"time"
+)
+
+// CostModel is an α–β (latency–bandwidth) account of what the in-process
+// message traffic would cost on a real cluster fabric. The paper's cluster
+// is Xeon 9242 sockets on Mellanox HDR (200 Gb/s) with a DragonFly
+// topology; the defaults below approximate one socket's share of that
+// fabric. All times are simulated seconds, accumulated per rank.
+//
+// The model serves the scaling experiments (Fig. 5/6): local compute is
+// measured for real, remote aggregation cost = pre/post processing
+// (gather/scatter at memory bandwidth) + network transfer (α + bytes/β),
+// and delayed algorithms (cd-r) hide the network term behind compute,
+// paying only pre/post processing — exactly the behaviour §6.3 reports.
+type CostModel struct {
+	// NetLatency α: per-message software+fabric latency (seconds).
+	NetLatency float64
+	// NetBandwidth β: per-socket network bandwidth (bytes/second).
+	NetBandwidth float64
+	// MemBandwidth: per-socket memory bandwidth for gather/scatter
+	// pre/post processing (bytes/second).
+	MemBandwidth float64
+
+	mu    sync.Mutex
+	simNs []int64 // accumulated simulated time per rank, nanoseconds
+}
+
+// DefaultCostModel approximates one Xeon socket's effective share of an HDR
+// fabric under collective traffic: 5 µs message latency (software + switch
+// hops), 2.5 GB/s effective per-socket AlltoAll bandwidth (HDR's 25 GB/s
+// line rate divided across a dual-socket node and collective contention),
+// and 80 GB/s memory bandwidth for gather/scatter staging.
+func DefaultCostModel(numRanks int) *CostModel {
+	return &CostModel{
+		NetLatency:   5e-6,
+		NetBandwidth: 2.5e9,
+		MemBandwidth: 80e9,
+		simNs:        make([]int64, numRanks),
+	}
+}
+
+// ChargeGatherScatter accounts a local gather or scatter-reduce of the
+// given byte volume (pre/post processing of Alg. 4 lines 10, 14, 15, 20).
+func (c *CostModel) ChargeGatherScatter(rank int, bytes int) float64 {
+	t := float64(bytes) / c.MemBandwidth
+	c.add(rank, t)
+	return t
+}
+
+// ChargeAlltoAll accounts one AlltoAll step from this rank's perspective:
+// one message per peer with data, plus serialization of the send volume
+// on this rank's injection bandwidth.
+func (c *CostModel) ChargeAlltoAll(rank int, bytesPerPeer []int) float64 {
+	msgs := 0
+	total := 0
+	for _, b := range bytesPerPeer {
+		if b > 0 {
+			msgs++
+			total += b
+		}
+	}
+	t := float64(msgs)*c.NetLatency + float64(total)/c.NetBandwidth
+	c.add(rank, t)
+	return t
+}
+
+// ChargeAllReduce accounts a ring AllReduce of the given byte volume over
+// k ranks: 2(k-1) steps, each moving bytes/k.
+func (c *CostModel) ChargeAllReduce(rank int, bytes, k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	steps := 2 * (k - 1)
+	t := float64(steps)*c.NetLatency + float64(steps)*float64(bytes)/float64(k)/c.NetBandwidth
+	c.add(rank, t)
+	return t
+}
+
+func (c *CostModel) add(rank int, seconds float64) {
+	c.mu.Lock()
+	c.simNs[rank] += int64(seconds * 1e9)
+	c.mu.Unlock()
+}
+
+// SimTime returns the simulated time accumulated for a rank.
+func (c *CostModel) SimTime(rank int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.simNs[rank])
+}
+
+// MaxSimTime returns the maximum accumulated simulated time across ranks —
+// the critical-path communication cost.
+func (c *CostModel) MaxSimTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m int64
+	for _, v := range c.simNs {
+		if v > m {
+			m = v
+		}
+	}
+	return time.Duration(m)
+}
+
+// Reset zeroes all per-rank accounts.
+func (c *CostModel) Reset() {
+	c.mu.Lock()
+	for i := range c.simNs {
+		c.simNs[i] = 0
+	}
+	c.mu.Unlock()
+}

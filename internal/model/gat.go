@@ -1,0 +1,315 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distgnn/internal/graph"
+	"distgnn/internal/nn"
+	"distgnn/internal/spmm"
+	"distgnn/internal/tensor"
+)
+
+// GAT is a multi-head Graph Attention Network — the attention-model class
+// the paper's related-work section notes classic GAS frameworks cannot
+// express, and one of the model families §7 targets for future DistGNN
+// support. Per layer and head:
+//
+//	z   = x·W_h
+//	e   = LeakyReLU(aL_h·z_u + aR_h·z_v)  per edge u→v   (SDDMM pattern)
+//	α   = softmax_v(e)                     per destination (edge softmax)
+//	h_v = Σ_u α_uv · z_u                   (weighted aggregation)
+//
+// Head outputs are concatenated (each head emits OutWidth/NumHeads
+// channels) and ReLU is applied between layers. Built entirely from the
+// spmm primitives (SDDMM, EdgeSoftmax, AggregateWeighted), demonstrating
+// the substrate covers the featgraph operator surface, not just the GCN
+// aggregate.
+type GAT struct {
+	Cfg GATConfig
+	G   *graph.CSR
+
+	layers []*gatLayer
+	rev    *graph.CSR
+}
+
+// GATConfig describes a GAT instance.
+type GATConfig struct {
+	InDim     int
+	Hidden    int
+	OutDim    int
+	NumLayers int
+	// NumHeads is the attention head count per layer; Hidden and OutDim
+	// must be divisible by it. Defaults to 1.
+	NumHeads   int
+	LeakySlope float64 // LeakyReLU negative slope; defaults to 0.2
+	Seed       int64
+}
+
+// gatHead is one attention head: its projection, attention vectors and the
+// forward caches its backward pass needs.
+type gatHead struct {
+	linear *nn.Linear
+	attL   *nn.Param // 1×headOut
+	attR   *nn.Param // 1×headOut
+
+	z     *tensor.Matrix // post-linear features
+	alpha *tensor.Matrix // |E|×1 attention weights
+	pre   *tensor.Matrix // |E|×1 pre-activation scores
+}
+
+type gatLayer struct {
+	heads []*gatHead
+	last  bool
+
+	h *tensor.Matrix // concatenated layer output (ReLU mask)
+}
+
+// NewGAT constructs a GAT over g.
+func NewGAT(g *graph.CSR, cfg GATConfig) (*GAT, error) {
+	if cfg.NumLayers < 1 {
+		return nil, fmt.Errorf("model: GAT NumLayers must be ≥1")
+	}
+	if cfg.InDim <= 0 || cfg.OutDim <= 0 || (cfg.NumLayers > 1 && cfg.Hidden <= 0) {
+		return nil, fmt.Errorf("model: GAT dimensions must be positive")
+	}
+	if cfg.NumHeads == 0 {
+		cfg.NumHeads = 1
+	}
+	if cfg.NumHeads < 1 {
+		return nil, fmt.Errorf("model: GAT NumHeads must be ≥1")
+	}
+	if cfg.OutDim%cfg.NumHeads != 0 || (cfg.NumLayers > 1 && cfg.Hidden%cfg.NumHeads != 0) {
+		return nil, fmt.Errorf("model: GAT widths (hidden %d, out %d) must divide NumHeads %d",
+			cfg.Hidden, cfg.OutDim, cfg.NumHeads)
+	}
+	if cfg.LeakySlope == 0 {
+		cfg.LeakySlope = 0.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &GAT{Cfg: cfg, G: g, rev: g.Reverse()}
+	for l := 0; l < cfg.NumLayers; l++ {
+		in := cfg.Hidden
+		if l == 0 {
+			in = cfg.InDim
+		}
+		out := cfg.Hidden
+		if l == cfg.NumLayers-1 {
+			out = cfg.OutDim
+		}
+		headOut := out / cfg.NumHeads
+		gl := &gatLayer{last: l == cfg.NumLayers-1}
+		for h := 0; h < cfg.NumHeads; h++ {
+			head := &gatHead{
+				linear: nn.NewLinear(fmt.Sprintf("gat%d.h%d", l, h), in, headOut, false, rng),
+				attL:   nn.NewParam(fmt.Sprintf("gat%d.h%d.attL", l, h), 1, headOut),
+				attR:   nn.NewParam(fmt.Sprintf("gat%d.h%d.attR", l, h), 1, headOut),
+			}
+			tensor.GlorotUniform(head.attL.W, rng)
+			tensor.GlorotUniform(head.attR.W, rng)
+			gl.heads = append(gl.heads, head)
+		}
+		m.layers = append(m.layers, gl)
+	}
+	return m, nil
+}
+
+// Forward returns per-vertex logits.
+func (m *GAT) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	h := x
+	for _, gl := range m.layers {
+		h = m.forwardLayer(gl, h, training)
+	}
+	return h
+}
+
+func (m *GAT) forwardLayer(gl *gatLayer, x *tensor.Matrix, training bool) *tensor.Matrix {
+	g := m.G
+	headOut := gl.heads[0].linear.Weight.W.Cols
+	out := tensor.New(g.NumVertices, headOut*len(gl.heads))
+	for hi, head := range gl.heads {
+		z := head.linear.Forward(x, training)
+		head.z = z
+
+		// Per-vertex attention projections s_u = aL·z_u, t_v = aR·z_v.
+		s := project(z, head.attL.W.Data)
+		t := project(z, head.attR.W.Data)
+
+		// Per-edge pre-activation score e = s_u + t_v, then LeakyReLU.
+		pre := tensor.New(g.NumEdges, 1)
+		if err := spmm.SDDMM(g, s, t, spmm.SDDMMAdd, pre); err != nil {
+			panic(err)
+		}
+		slope := float32(m.Cfg.LeakySlope)
+		alpha := pre.Clone()
+		for i, v := range alpha.Data {
+			if v < 0 {
+				alpha.Data[i] = v * slope
+			}
+		}
+		head.pre = pre
+		if err := spmm.EdgeSoftmax(g, alpha); err != nil {
+			panic(err)
+		}
+		head.alpha = alpha
+
+		// Weighted aggregation h_v = Σ α z_u, into this head's column band.
+		agg := tensor.New(g.NumVertices, headOut)
+		if err := spmm.AggregateWeighted(g, z, alpha.Data, agg); err != nil {
+			panic(err)
+		}
+		setColBand(out, agg, hi*headOut)
+	}
+	if !gl.last {
+		for i, v := range out.Data {
+			if v < 0 {
+				out.Data[i] = 0
+			}
+		}
+	}
+	gl.h = out
+	return out
+}
+
+// project returns the |V|×1 matrix of row-dot-products z·a.
+func project(z *tensor.Matrix, a []float32) *tensor.Matrix {
+	out := tensor.New(z.Rows, 1)
+	for v := 0; v < z.Rows; v++ {
+		row := z.Row(v)
+		var sum float32
+		for j, w := range a {
+			sum += row[j] * w
+		}
+		out.Data[v] = sum
+	}
+	return out
+}
+
+// setColBand copies src (n×w) into dst's columns [j0, j0+w).
+func setColBand(dst, src *tensor.Matrix, j0 int) {
+	for v := 0; v < src.Rows; v++ {
+		copy(dst.Row(v)[j0:j0+src.Cols], src.Row(v))
+	}
+}
+
+// colBand extracts dst columns [j0, j0+w) as a fresh n×w matrix.
+func colBand(src *tensor.Matrix, j0, w int) *tensor.Matrix {
+	out := tensor.New(src.Rows, w)
+	for v := 0; v < src.Rows; v++ {
+		copy(out.Row(v), src.Row(v)[j0:j0+w])
+	}
+	return out
+}
+
+// Backward propagates ∂L/∂logits, accumulating parameter gradients.
+func (m *GAT) Backward(dlogits *tensor.Matrix) {
+	dy := dlogits
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		dy = m.backwardLayer(m.layers[l], dy)
+	}
+}
+
+func (m *GAT) backwardLayer(gl *gatLayer, dy *tensor.Matrix) *tensor.Matrix {
+	g := m.G
+	if !gl.last {
+		masked := tensor.New(dy.Rows, dy.Cols)
+		for i, v := range dy.Data {
+			if gl.h.Data[i] > 0 {
+				masked.Data[i] = v
+			}
+		}
+		dy = masked
+	}
+
+	headOut := gl.heads[0].linear.Weight.W.Cols
+	var dxTotal *tensor.Matrix
+	for hi, head := range gl.heads {
+		dyh := colBand(dy, hi*headOut, headOut)
+		dx := m.backwardHead(g, head, dyh)
+		if dxTotal == nil {
+			dxTotal = dx
+		} else {
+			dxTotal.Add(dx)
+		}
+	}
+	return dxTotal
+}
+
+// backwardHead runs the single-head attention backward pass and returns
+// ∂L/∂x for this head's path.
+func (m *GAT) backwardHead(g *graph.CSR, head *gatHead, dy *tensor.Matrix) *tensor.Matrix {
+	// h_v = Σ_u α_uv z_u.
+	// (1) dz_u += Σ_v α_uv dy_v — weighted aggregation along reverse edges
+	//     (edge IDs are shared between g and its reverse).
+	dz := tensor.New(head.z.Rows, head.z.Cols)
+	if err := spmm.AggregateWeighted(m.rev, dy, head.alpha.Data, dz); err != nil {
+		panic(err)
+	}
+	// (2) dα_uv = z_u · dy_v — SDDMM dot.
+	dalpha := tensor.New(g.NumEdges, 1)
+	if err := spmm.SDDMM(g, head.z, dy, spmm.SDDMMDot, dalpha); err != nil {
+		panic(err)
+	}
+	// (3) softmax backward per destination: de = α ⊙ (dα − Σ α·dα).
+	de := tensor.New(g.NumEdges, 1)
+	for v := 0; v < g.NumVertices; v++ {
+		ids := g.InEdgeIDs(v)
+		if len(ids) == 0 {
+			continue
+		}
+		var dot float64
+		for _, e := range ids {
+			dot += float64(head.alpha.Data[e]) * float64(dalpha.Data[e])
+		}
+		for _, e := range ids {
+			de.Data[e] = head.alpha.Data[e] * (dalpha.Data[e] - float32(dot))
+		}
+	}
+	// (4) LeakyReLU backward on the pre-activation scores.
+	slope := float32(m.Cfg.LeakySlope)
+	for i := range de.Data {
+		if head.pre.Data[i] < 0 {
+			de.Data[i] *= slope
+		}
+	}
+	// (5) de flows to s_u (sum over out-edges) and t_v (sum over in-edges).
+	dsrc := tensor.New(g.NumVertices, 1)
+	ddst := tensor.New(g.NumVertices, 1)
+	for v := 0; v < g.NumVertices; v++ {
+		nbr := g.InNeighbors(v)
+		ids := g.InEdgeIDs(v)
+		var sum float32
+		for i := range ids {
+			grad := de.Data[ids[i]]
+			sum += grad
+			dsrc.Data[nbr[i]] += grad
+		}
+		ddst.Data[v] += sum
+	}
+	// (6) s_u = aL·z_u, t_v = aR·z_v: fold into dz and attention gradients.
+	aL, aR := head.attL.W.Data, head.attR.W.Data
+	for v := 0; v < g.NumVertices; v++ {
+		zRow := head.z.Row(v)
+		dzRow := dz.Row(v)
+		gs, gt := dsrc.Data[v], ddst.Data[v]
+		for j := range dzRow {
+			dzRow[j] += gs*aL[j] + gt*aR[j]
+			head.attL.Grad.Data[j] += gs * zRow[j]
+			head.attR.Grad.Data[j] += gt * zRow[j]
+		}
+	}
+	// (7) Linear backward.
+	return head.linear.Backward(dz)
+}
+
+// Params returns all trainable parameters.
+func (m *GAT) Params() []*nn.Param {
+	var out []*nn.Param
+	for _, gl := range m.layers {
+		for _, head := range gl.heads {
+			out = append(out, head.linear.Params()...)
+			out = append(out, head.attL, head.attR)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Checkpointing: model parameters serialize to a versioned binary stream so
+// long full-batch runs (the paper trains 200–300 epochs) can be resumed and
+// trained models shipped between tools.
+
+const checkpointMagic = 0x44474E50 // "DGNP"
+
+// WriteParams serializes params (names, shapes, values) to w. Gradients
+// are not persisted.
+func WriteParams(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range []any{uint32(checkpointMagic), uint32(1), uint32(len(params))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		for _, v := range []uint32{uint32(p.W.Rows), uint32(p.W.Cols)} {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.W.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadParams restores values previously written by WriteParams into params.
+// The parameter list must match by order, name and shape — a structural
+// mismatch (different model config) is an error, not silent corruption.
+func ReadParams(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	var magic, version, count uint32
+	for _, v := range []*uint32{&magic, &version, &count} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %#x", magic)
+	}
+	if version != 1 {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("nn: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint parameter %q, model expects %q", name, p.Name)
+		}
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return err
+		}
+		if int(rows) != p.W.Rows || int(cols) != p.W.Cols {
+			return fmt.Errorf("nn: %s has shape %dx%d in checkpoint, model expects %dx%d",
+				p.Name, rows, cols, p.W.Rows, p.W.Cols)
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.W.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"distgnn/internal/tensor"
+)
+
+func checkpointParams(seed int64) []*Param {
+	rng := rand.New(rand.NewSource(seed))
+	a := NewParam("layer0.weight", 4, 6)
+	b := NewParam("layer0.bias", 1, 6)
+	tensor.RandomNormal(a.W, rng, 1)
+	tensor.RandomNormal(b.W, rng, 1)
+	return []*Param{a, b}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := checkpointParams(1)
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := []*Param{NewParam("layer0.weight", 4, 6), NewParam("layer0.bias", 1, 6)}
+	if err := ReadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if src[i].W.MaxAbsDiff(dst[i].W) != 0 {
+			t.Fatalf("parameter %d changed", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsNameMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, checkpointParams(2)); err != nil {
+		t.Fatal(err)
+	}
+	dst := []*Param{NewParam("other.weight", 4, 6), NewParam("layer0.bias", 1, 6)}
+	if err := ReadParams(&buf, dst); err == nil {
+		t.Fatal("name mismatch must error")
+	}
+}
+
+func TestCheckpointRejectsShapeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, checkpointParams(3)); err != nil {
+		t.Fatal(err)
+	}
+	dst := []*Param{NewParam("layer0.weight", 4, 7), NewParam("layer0.bias", 1, 6)}
+	if err := ReadParams(&buf, dst); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestCheckpointRejectsCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, checkpointParams(4)); err != nil {
+		t.Fatal(err)
+	}
+	dst := []*Param{NewParam("layer0.weight", 4, 6)}
+	if err := ReadParams(&buf, dst); err == nil {
+		t.Fatal("count mismatch must error")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if err := ReadParams(bytes.NewReader([]byte("garbage data here....")), checkpointParams(5)); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, checkpointParams(6)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	dst := checkpointParams(7)
+	for _, cut := range []int{4, 12, 20, len(data) / 2} {
+		if err := ReadParams(bytes.NewReader(data[:cut]), dst); err == nil {
+			t.Fatalf("truncation at %d must error", cut)
+		}
+	}
+}

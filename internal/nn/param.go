@@ -1,0 +1,79 @@
+// Package nn provides the neural-network substrate DistGNN gets from
+// PyTorch in the paper: manually differentiated layers (Linear, ReLU,
+// Dropout), softmax cross-entropy over masked vertex sets, and SGD/Adam
+// optimizers with weight decay. GraphSAGE's per-layer MLP is composed from
+// these in package model.
+package nn
+
+import "distgnn/internal/tensor"
+
+// Param is one trainable tensor with its gradient accumulator. Biases are
+// represented as 1×n matrices so optimizers and the distributed parameter
+// AllReduce treat all parameters uniformly.
+type Param struct {
+	Name string
+	W    *tensor.Matrix
+	Grad *tensor.Matrix
+}
+
+// NewParam allocates a parameter and matching zero gradient.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: tensor.New(rows, cols), Grad: tensor.New(rows, cols)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumElements returns the parameter element count.
+func (p *Param) NumElements() int { return len(p.W.Data) }
+
+// Layer is a differentiable module. Forward consumes the layer input and
+// returns its output; Backward consumes ∂L/∂output and returns ∂L/∂input,
+// accumulating parameter gradients as a side effect. Layers cache
+// activations between Forward and Backward, so calls must pair up.
+type Layer interface {
+	Forward(x *tensor.Matrix, training bool) *tensor.Matrix
+	Backward(dy *tensor.Matrix) *tensor.Matrix
+	Params() []*Param
+}
+
+// ZeroGrads clears gradients of all parameters in params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// FlattenParams copies all parameter values into one contiguous buffer,
+// in order — the layout used for the distributed parameter AllReduce.
+func FlattenParams(params []*Param, grad bool) []float32 {
+	n := 0
+	for _, p := range params {
+		n += p.NumElements()
+	}
+	out := make([]float32, n)
+	off := 0
+	for _, p := range params {
+		src := p.W.Data
+		if grad {
+			src = p.Grad.Data
+		}
+		copy(out[off:], src)
+		off += len(src)
+	}
+	return out
+}
+
+// UnflattenParams scatters a contiguous buffer back into parameters (or
+// their gradients), inverse of FlattenParams.
+func UnflattenParams(params []*Param, buf []float32, grad bool) {
+	off := 0
+	for _, p := range params {
+		dst := p.W.Data
+		if grad {
+			dst = p.Grad.Data
+		}
+		copy(dst, buf[off:off+len(dst)])
+		off += len(dst)
+	}
+}

@@ -1,0 +1,217 @@
+// Package partition implements DistGNN's graph partitioning layer (§5.1–5.2
+// of the paper): the Libra least-loaded vertex-cut partitioner, simpler
+// baselines for comparison, and the partition metadata the distributed
+// algorithms need — per-partition local graphs with global↔local vertex
+// maps, the set of split vertices, and the 1-level root/leaf communication
+// trees of Alg. 4.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distgnn/internal/graph"
+)
+
+// Partitioner assigns each edge of a graph to one of k partitions.
+// Vertex-cut partitioning distributes *edges*: each edge lives in exactly
+// one partition while a vertex may be replicated into several.
+type Partitioner interface {
+	Name() string
+	// Assign returns, for each edge ID of g, the partition in [0, k).
+	Assign(g *graph.CSR, k int) []int32
+}
+
+// Libra is the state-of-the-art vertex-cut partitioner the paper uses
+// (Xie et al., NIPS'14). Each edge is assigned greedily to the least-loaded
+// partition among those already containing its endpoints, which keeps the
+// replication factor low on power-law graphs while balancing edge counts.
+type Libra struct {
+	// Seed breaks ties deterministically.
+	Seed int64
+}
+
+func (Libra) Name() string { return "libra" }
+
+// Assign implements the greedy vertex-cut heuristic:
+//
+//	case both endpoints already share partitions → least-loaded shared one;
+//	case endpoints live in disjoint partition sets → least-loaded of union;
+//	case one endpoint placed → least-loaded of its partitions;
+//	case neither placed → least-loaded partition overall.
+func (l Libra) Assign(g *graph.CSR, k int) []int32 {
+	if k < 1 {
+		panic(fmt.Sprintf("partition: k must be ≥1, got %d", k))
+	}
+	edges := g.Edges()
+	rng := rand.New(rand.NewSource(l.Seed))
+	load := make([]int64, k)
+	// present[v] is a bitset of partitions containing v; supports k ≤ 64
+	// directly and falls back to map-of-sets beyond that.
+	if k <= 64 {
+		return libraBitset(edges, g.NumVertices, k, load, rng)
+	}
+	return libraSets(edges, g.NumVertices, k, load, rng)
+}
+
+func libraBitset(edges []graph.Edge, n, k int, load []int64, rng *rand.Rand) []int32 {
+	present := make([]uint64, n)
+	assign := make([]int32, len(edges))
+	for i, e := range edges {
+		pu, pv := present[e.Src], present[e.Dst]
+		var candidates uint64
+		switch {
+		case pu&pv != 0:
+			candidates = pu & pv
+		case pu != 0 && pv != 0:
+			candidates = pu | pv
+		case pu != 0:
+			candidates = pu
+		case pv != 0:
+			candidates = pv
+		default:
+			candidates = 0 // all partitions
+		}
+		best := leastLoaded(load, candidates, k, rng)
+		assign[i] = int32(best)
+		load[best]++
+		present[e.Src] |= 1 << best
+		present[e.Dst] |= 1 << best
+	}
+	return assign
+}
+
+func libraSets(edges []graph.Edge, n, k int, load []int64, rng *rand.Rand) []int32 {
+	present := make([]map[int32]bool, n)
+	assign := make([]int32, len(edges))
+	add := func(v int32, p int32) {
+		if present[v] == nil {
+			present[v] = make(map[int32]bool, 2)
+		}
+		present[v][p] = true
+	}
+	for i, e := range edges {
+		pu, pv := present[e.Src], present[e.Dst]
+		var candidates []int32
+		inter := intersect(pu, pv)
+		switch {
+		case len(inter) > 0:
+			candidates = inter
+		case len(pu) > 0 && len(pv) > 0:
+			candidates = union(pu, pv)
+		case len(pu) > 0:
+			candidates = keys(pu)
+		case len(pv) > 0:
+			candidates = keys(pv)
+		}
+		best := leastLoadedList(load, candidates, k, rng)
+		assign[i] = int32(best)
+		load[best]++
+		add(e.Src, int32(best))
+		add(e.Dst, int32(best))
+	}
+	return assign
+}
+
+// leastLoaded picks the minimum-load partition among the candidate bitset
+// (0 means "all partitions"), breaking ties uniformly at random so hubs
+// spread across partitions instead of piling into partition 0.
+func leastLoaded(load []int64, candidates uint64, k int, rng *rand.Rand) int {
+	best, bestLoad, ties := -1, int64(1<<62), 0
+	for p := 0; p < k; p++ {
+		if candidates != 0 && candidates&(1<<p) == 0 {
+			continue
+		}
+		switch {
+		case load[p] < bestLoad:
+			best, bestLoad, ties = p, load[p], 1
+		case load[p] == bestLoad:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+func leastLoadedList(load []int64, candidates []int32, k int, rng *rand.Rand) int {
+	if len(candidates) == 0 {
+		return leastLoaded(load, 0, k, rng)
+	}
+	best, bestLoad, ties := -1, int64(1<<62), 0
+	for _, p := range candidates {
+		switch {
+		case load[p] < bestLoad:
+			best, bestLoad, ties = int(p), load[p], 1
+		case load[p] == bestLoad:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = int(p)
+			}
+		}
+	}
+	return best
+}
+
+func intersect(a, b map[int32]bool) []int32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var out []int32
+	for p := range a {
+		if b[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func union(a, b map[int32]bool) []int32 {
+	out := keys(a)
+	for p := range b {
+		if !a[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func keys(m map[int32]bool) []int32 {
+	out := make([]int32, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	return out
+}
+
+// RandomEdge assigns each edge to a uniformly random partition — the
+// worst-case vertex-cut baseline (maximum replication).
+type RandomEdge struct{ Seed int64 }
+
+func (RandomEdge) Name() string { return "random-edge" }
+
+func (r RandomEdge) Assign(g *graph.CSR, k int) []int32 {
+	rng := rand.New(rand.NewSource(r.Seed))
+	assign := make([]int32, g.NumEdges)
+	for i := range assign {
+		assign[i] = int32(rng.Intn(k))
+	}
+	return assign
+}
+
+// HashVertex assigns each edge to hash(dst) mod k — the edge-cut-style
+// baseline where every destination's in-edges are colocated (1D partition).
+type HashVertex struct{}
+
+func (HashVertex) Name() string { return "hash-vertex" }
+
+func (HashVertex) Assign(g *graph.CSR, k int) []int32 {
+	assign := make([]int32, g.NumEdges)
+	for i, e := range g.Edges() {
+		// Knuth multiplicative hash for a spread of contiguous IDs.
+		h := uint32(e.Dst) * 2654435761
+		assign[i] = int32(h % uint32(k))
+	}
+	return assign
+}

@@ -1,0 +1,219 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distgnn/internal/graph"
+)
+
+// Clone identifies one replica of a split vertex: the partition holding it
+// and its local vertex ID there.
+type Clone struct {
+	Part  int32
+	Local int32
+}
+
+// SplitVertex is an original vertex replicated into ≥2 partitions. Per
+// Alg. 4, one clone is designated the root of a 1-level communication tree
+// and the rest are leaves: leaves send partial aggregates to the root, the
+// root reduces and broadcasts the final aggregate back.
+type SplitVertex struct {
+	Global int32
+	Clones []Clone // Clones[0] is the root
+}
+
+// Part is one graph partition: the local subgraph plus the global↔local
+// vertex mapping. Local vertex IDs are dense in [0, NumLocal).
+type Part struct {
+	ID       int
+	GlobalID []int32    // local → global vertex ID
+	G        *graph.CSR // local CSR over local IDs (in-edges, edge IDs local)
+	// GlobalEdgeID maps local edge IDs back to the input graph's edge IDs
+	// so per-edge features can be sliced per partition.
+	GlobalEdgeID []int32
+}
+
+// NumLocal returns the number of local vertices (split + non-split).
+func (p *Part) NumLocal() int { return len(p.GlobalID) }
+
+// Partitioning is the complete output of vertex-cut partitioning: the parts,
+// the split-vertex communication structure, and the global vertex_map
+// (§5.2) locating every clone.
+type Partitioning struct {
+	K     int
+	Parts []*Part
+	// Splits lists every vertex with ≥2 clones, root first.
+	Splits []SplitVertex
+	// LocalOf[p][g] is the local ID of global vertex g in partition p, or -1.
+	// Stored per partition for O(1) translation during communication setup.
+	LocalOf [][]int32
+	// NumSourceVertices is |V| of the input graph.
+	NumSourceVertices int
+}
+
+// Build materializes a Partitioning from an edge→partition assignment.
+// Every edge lands in exactly one part; a vertex becomes local to every
+// part holding one of its edges. Isolated vertices (degree 0 in both
+// directions) are distributed round-robin so their features/labels still
+// live somewhere. Root clones are chosen at random per split vertex
+// (seeded), as Alg. 4 prescribes.
+func Build(g *graph.CSR, assign []int32, k int, seed int64) (*Partitioning, error) {
+	if len(assign) != g.NumEdges {
+		return nil, fmt.Errorf("partition: assignment covers %d edges, graph has %d", len(assign), g.NumEdges)
+	}
+	edges := g.Edges()
+	localOf := make([][]int32, k)
+	for p := 0; p < k; p++ {
+		localOf[p] = make([]int32, g.NumVertices)
+		for v := range localOf[p] {
+			localOf[p][v] = -1
+		}
+	}
+	parts := make([]*Part, k)
+	for p := 0; p < k; p++ {
+		parts[p] = &Part{ID: p}
+	}
+	intern := func(p int32, v int32) int32 {
+		if localOf[p][v] >= 0 {
+			return localOf[p][v]
+		}
+		id := int32(len(parts[p].GlobalID))
+		parts[p].GlobalID = append(parts[p].GlobalID, v)
+		localOf[p][v] = id
+		return id
+	}
+
+	// First pass: intern endpoints and bucket edges per partition.
+	type localEdge struct {
+		e        graph.Edge
+		globalID int32
+	}
+	perPart := make([][]localEdge, k)
+	for eid, e := range edges {
+		p := assign[eid]
+		if p < 0 || int(p) >= k {
+			return nil, fmt.Errorf("partition: edge %d assigned to invalid partition %d", eid, p)
+		}
+		ls := intern(p, e.Src)
+		ld := intern(p, e.Dst)
+		perPart[p] = append(perPart[p], localEdge{
+			e:        graph.Edge{Src: ls, Dst: ld},
+			globalID: int32(eid),
+		})
+	}
+
+	// Isolated vertices: round-robin.
+	touched := make([]bool, g.NumVertices)
+	for _, e := range edges {
+		touched[e.Src] = true
+		touched[e.Dst] = true
+	}
+	next := 0
+	for v := 0; v < g.NumVertices; v++ {
+		if !touched[v] {
+			intern(int32(next%k), int32(v))
+			next++
+		}
+	}
+
+	// Build local CSRs.
+	for p := 0; p < k; p++ {
+		les := perPart[p]
+		localEdges := make([]graph.Edge, len(les))
+		parts[p].GlobalEdgeID = make([]int32, len(les))
+		for i, le := range les {
+			localEdges[i] = le.e
+			parts[p].GlobalEdgeID[i] = le.globalID
+		}
+		lg, err := graph.NewCSR(parts[p].NumLocal(), localEdges)
+		if err != nil {
+			return nil, err
+		}
+		parts[p].G = lg
+	}
+
+	// Split-vertex inventory with random root selection.
+	rng := rand.New(rand.NewSource(seed))
+	var splits []SplitVertex
+	for v := 0; v < g.NumVertices; v++ {
+		var clones []Clone
+		for p := 0; p < k; p++ {
+			if l := localOf[p][v]; l >= 0 {
+				clones = append(clones, Clone{Part: int32(p), Local: l})
+			}
+		}
+		if len(clones) >= 2 {
+			root := rng.Intn(len(clones))
+			clones[0], clones[root] = clones[root], clones[0]
+			splits = append(splits, SplitVertex{Global: int32(v), Clones: clones})
+		}
+	}
+
+	return &Partitioning{
+		K:                 k,
+		Parts:             parts,
+		Splits:            splits,
+		LocalOf:           localOf,
+		NumSourceVertices: g.NumVertices,
+	}, nil
+}
+
+// Partition runs a Partitioner end to end and builds the Partitioning.
+func Partition(g *graph.CSR, p Partitioner, k int, seed int64) (*Partitioning, error) {
+	return Build(g, p.Assign(g, k), k, seed)
+}
+
+// ReplicationFactor is Table 4's metric: the average number of clones per
+// original vertex that appears in at least one partition.
+func (pt *Partitioning) ReplicationFactor() float64 {
+	totalCopies := 0
+	for _, p := range pt.Parts {
+		totalCopies += p.NumLocal()
+	}
+	distinct := make(map[int32]bool)
+	for _, p := range pt.Parts {
+		for _, g := range p.GlobalID {
+			distinct[g] = true
+		}
+	}
+	if len(distinct) == 0 {
+		return 0
+	}
+	return float64(totalCopies) / float64(len(distinct))
+}
+
+// EdgeBalance returns (maxEdges / meanEdges) across parts — 1.0 is perfect
+// balance. The paper uses uniform edge distribution as its load metric.
+func (pt *Partitioning) EdgeBalance() float64 {
+	maxE, total := 0, 0
+	for _, p := range pt.Parts {
+		total += p.G.NumEdges
+		if p.G.NumEdges > maxE {
+			maxE = p.G.NumEdges
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(pt.K)
+	return float64(maxE) / mean
+}
+
+// SplitVertexFraction returns, per partition, the fraction of its local
+// vertices that are split vertices (Table 6's "Split-vertices/partition").
+func (pt *Partitioning) SplitVertexFraction() []float64 {
+	splitCount := make([]int, pt.K)
+	for _, sv := range pt.Splits {
+		for _, c := range sv.Clones {
+			splitCount[c.Part]++
+		}
+	}
+	out := make([]float64, pt.K)
+	for p, part := range pt.Parts {
+		if part.NumLocal() > 0 {
+			out[p] = float64(splitCount[p]) / float64(part.NumLocal())
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package quant implements the low-precision wire formats the paper's §7
+// names as future work for cutting DistGNN's communication volume: BF16
+// (bfloat16) and FP16 (IEEE half). Partial aggregates are rounded through
+// the 16-bit format before they cross the simulated fabric, halving the
+// bytes moved; the distributed trainer exposes this via
+// train.DistConfig.CommPrecision and the ablation harness measures the
+// accuracy impact.
+package quant
+
+import "math"
+
+// Precision selects a wire format for communicated float32 buffers.
+type Precision uint8
+
+const (
+	// FP32 is the identity format (no compression).
+	FP32 Precision = iota
+	// BF16 truncates float32 to its top 16 bits with round-to-nearest-even:
+	// full float32 exponent range, 8 mantissa bits.
+	BF16
+	// FP16 is IEEE 754 binary16: 5 exponent bits, 11 mantissa bits, with
+	// overflow to ±Inf and gradual underflow to subnormals.
+	FP16
+)
+
+func (p Precision) String() string {
+	switch p {
+	case BF16:
+		return "bf16"
+	case FP16:
+		return "fp16"
+	default:
+		return "fp32"
+	}
+}
+
+// Bytes returns the wire size of one element.
+func (p Precision) Bytes() int {
+	if p == FP32 {
+		return 4
+	}
+	return 2
+}
+
+// RoundSlice rounds every element of buf through the wire format in place
+// and returns buf — the receiver-side value after an encode/decode round
+// trip. FP32 is a no-op.
+func (p Precision) RoundSlice(buf []float32) []float32 {
+	switch p {
+	case BF16:
+		for i, v := range buf {
+			buf[i] = BF16Decode(BF16Encode(v))
+		}
+	case FP16:
+		for i, v := range buf {
+			buf[i] = FP16Decode(FP16Encode(v))
+		}
+	}
+	return buf
+}
+
+// BF16Encode rounds a float32 to bfloat16 (round-to-nearest-even).
+func BF16Encode(v float32) uint16 {
+	bits := math.Float32bits(v)
+	if bits&0x7FFFFFFF > 0x7F800000 { // NaN: preserve quietly
+		return uint16(bits>>16) | 0x0040
+	}
+	// Round to nearest even on the truncated 16 bits.
+	rounding := uint32(0x7FFF) + (bits>>16)&1
+	return uint16((bits + rounding) >> 16)
+}
+
+// BF16Decode expands a bfloat16 back to float32.
+func BF16Decode(b uint16) float32 {
+	return math.Float32frombits(uint32(b) << 16)
+}
+
+// FP16Encode converts a float32 to IEEE binary16 with round-to-nearest-even,
+// overflow to ±Inf, and gradual underflow to subnormals.
+func FP16Encode(v float32) uint16 {
+	bits := math.Float32bits(v)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23)&0xFF - 127
+	mant := bits & 0x7FFFFF
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if mant != 0 {
+			return sign | 0x7E00 // quiet NaN
+		}
+		return sign | 0x7C00
+	case exp > 15: // overflow
+		return sign | 0x7C00
+	case exp >= -14: // normal range
+		// 10-bit mantissa; round to nearest even on the dropped 13 bits.
+		m := mant >> 13
+		round := mant & 0x1FFF
+		if round > 0x1000 || (round == 0x1000 && m&1 == 1) {
+			m++
+		}
+		e := uint32(exp+15)<<10 + m // mantissa carry may bump the exponent
+		return sign | uint16(e)
+	case exp >= -24: // subnormal range
+		full := mant | 0x800000 // implicit leading 1
+		// Subnormal mantissa m satisfies value = m × 2^−24, i.e.
+		// m = 1.mant × 2^(exp+24) = full >> (−exp − 1), rounded to nearest
+		// even on the dropped bits.
+		s := uint32(-exp) - 1
+		m := full >> s
+		rem := full & ((1 << s) - 1)
+		half := uint32(1) << (s - 1)
+		if rem > half || (rem == half && m&1 == 1) {
+			m++
+		}
+		return sign | uint16(m)
+	default: // underflow to zero
+		return sign
+	}
+}
+
+// FP16Decode expands an IEEE binary16 to float32.
+func FP16Decode(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	mant := uint32(h & 0x3FF)
+	switch {
+	case exp == 0x1F: // Inf/NaN
+		return math.Float32frombits(sign | 0x7F800000 | mant<<13)
+	case exp == 0: // zero or subnormal
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Normalize the subnormal.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}

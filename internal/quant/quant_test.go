@@ -1,0 +1,187 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBF16RoundTripRelativeError(t *testing.T) {
+	// BF16 has 8 mantissa bits: relative error ≤ 2^-8.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := float32(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6)))
+		got := BF16Decode(BF16Encode(v))
+		if v == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		if rel > 1.0/256 {
+			t.Fatalf("bf16 %v → %v: rel error %v", v, got, rel)
+		}
+	}
+}
+
+func TestFP16RoundTripRelativeError(t *testing.T) {
+	// FP16 has 10 mantissa bits in the normal range: rel error ≤ 2^-10.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100000; i++ {
+		v := float32(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(8)-4)))
+		if math.Abs(float64(v)) < 6.2e-5 || math.Abs(float64(v)) > 65000 {
+			continue // outside normal fp16 range
+		}
+		got := FP16Decode(FP16Encode(v))
+		rel := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		if rel > 1.0/1024 {
+			t.Fatalf("fp16 %v → %v: rel error %v", v, got, rel)
+		}
+	}
+}
+
+func TestBF16SpecialValues(t *testing.T) {
+	cases := []float32{0, float32(math.Copysign(0, -1)), 1, -1, 0.5, 65504}
+	for _, v := range cases {
+		got := BF16Decode(BF16Encode(v))
+		if v == 0 {
+			if got != 0 {
+				t.Fatalf("bf16 zero → %v", got)
+			}
+			continue
+		}
+		if math.Abs(float64(got-v))/math.Abs(float64(v)) > 1.0/256 {
+			t.Fatalf("bf16 %v → %v", v, got)
+		}
+	}
+	inf := float32(math.Inf(1))
+	if BF16Decode(BF16Encode(inf)) != inf {
+		t.Fatal("bf16 must preserve +Inf")
+	}
+	if !math.IsNaN(float64(BF16Decode(BF16Encode(float32(math.NaN()))))) {
+		t.Fatal("bf16 must preserve NaN")
+	}
+}
+
+func TestFP16SpecialValues(t *testing.T) {
+	inf := float32(math.Inf(1))
+	if FP16Decode(FP16Encode(inf)) != inf {
+		t.Fatal("fp16 must preserve +Inf")
+	}
+	if FP16Decode(FP16Encode(-inf)) != -inf {
+		t.Fatal("fp16 must preserve -Inf")
+	}
+	if !math.IsNaN(float64(FP16Decode(FP16Encode(float32(math.NaN()))))) {
+		t.Fatal("fp16 must preserve NaN")
+	}
+	if FP16Decode(FP16Encode(0)) != 0 {
+		t.Fatal("fp16 must preserve zero")
+	}
+	// Overflow saturates to Inf.
+	if FP16Decode(FP16Encode(1e6)) != inf {
+		t.Fatalf("fp16 1e6 must overflow to Inf, got %v", FP16Decode(FP16Encode(1e6)))
+	}
+	// Tiny values underflow to zero.
+	if got := FP16Decode(FP16Encode(1e-10)); got != 0 {
+		t.Fatalf("fp16 1e-10 must underflow, got %v", got)
+	}
+}
+
+func TestFP16Subnormals(t *testing.T) {
+	// 2^-24 is the smallest positive fp16 subnormal.
+	small := float32(math.Ldexp(1, -24))
+	got := FP16Decode(FP16Encode(small))
+	if got != small {
+		t.Fatalf("fp16 min subnormal %v → %v", small, got)
+	}
+	// A value between subnormal steps rounds to a nearby subnormal.
+	v := float32(3.1e-7)
+	got = FP16Decode(FP16Encode(v))
+	if got == 0 {
+		t.Fatal("fp16 subnormal collapsed to zero")
+	}
+	if math.Abs(float64(got-v))/float64(v) > 0.2 {
+		t.Fatalf("fp16 subnormal %v → %v too lossy", v, got)
+	}
+}
+
+func TestFP16ExactValuesRoundTrip(t *testing.T) {
+	// Values exactly representable in fp16 must round trip bit-exactly.
+	for _, v := range []float32{1, -2, 0.5, 0.25, 1.5, 3.140625, 65504} {
+		if got := FP16Decode(FP16Encode(v)); got != v {
+			t.Fatalf("fp16 exact %v → %v", v, got)
+		}
+	}
+}
+
+func TestFP16MonotoneProperty(t *testing.T) {
+	// Rounding must preserve ordering (weak monotonicity).
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		clamp := func(x float32) float32 {
+			if x > 60000 {
+				return 60000
+			}
+			if x < -60000 {
+				return -60000
+			}
+			return x
+		}
+		a, b = clamp(a), clamp(b)
+		if a > b {
+			a, b = b, a
+		}
+		ra := FP16Decode(FP16Encode(a))
+		rb := FP16Decode(FP16Encode(b))
+		return ra <= rb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundSlice(t *testing.T) {
+	orig := []float32{1.0001, -2.5, 3.14159, 0}
+	buf := append([]float32(nil), orig...)
+	FP32.RoundSlice(buf)
+	for i := range buf {
+		if buf[i] != orig[i] {
+			t.Fatal("fp32 must be identity")
+		}
+	}
+	BF16.RoundSlice(buf)
+	// 1.0001 is not representable in bf16; must change but stay close.
+	if buf[0] == orig[0] {
+		t.Fatal("bf16 rounding had no effect")
+	}
+	if math.Abs(float64(buf[0]-orig[0])) > 0.01 {
+		t.Fatalf("bf16 too lossy: %v", buf[0])
+	}
+}
+
+func TestPrecisionMetadata(t *testing.T) {
+	if FP32.Bytes() != 4 || BF16.Bytes() != 2 || FP16.Bytes() != 2 {
+		t.Fatal("wire sizes wrong")
+	}
+	if FP32.String() != "fp32" || BF16.String() != "bf16" || FP16.String() != "fp16" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestBF16MatchesTruncationWithinOneULP(t *testing.T) {
+	// Property: the bf16 value's top bits equal the float32's top bits up
+	// to the rounding increment.
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+		enc := BF16Encode(v)
+		trunc := uint16(math.Float32bits(v) >> 16)
+		diff := int32(enc) - int32(trunc)
+		return diff == 0 || diff == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

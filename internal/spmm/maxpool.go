@@ -1,0 +1,67 @@
+package spmm
+
+import (
+	"fmt"
+
+	"distgnn/internal/graph"
+	"distgnn/internal/tensor"
+)
+
+// AggregateMaxArg computes the elementwise neighborhood maximum including
+// the vertex itself — out[v][j] = max(x[v][j], max_{u∈N(v)} x[u][j]) — and
+// records the winning source per output element in argmax (the vertex's
+// own ID when the self term wins). The argmax trail makes the reduction
+// differentiable: gradients route only to winners (see ScatterMaxGrad),
+// which is what GraphSAGE's max-pool aggregator needs for training.
+func AggregateMaxArg(g *graph.CSR, x *tensor.Matrix, out *tensor.Matrix, argmax []int32) error {
+	if x.Rows != g.NumVertices || !x.SameShape(out) {
+		return fmt.Errorf("spmm: max-pool shape mismatch")
+	}
+	if len(argmax) != len(out.Data) {
+		return fmt.Errorf("spmm: argmax length %d != output elements %d", len(argmax), len(out.Data))
+	}
+	d := x.Cols
+	staticParallel(g.NumVertices, func(v0, v1 int) {
+		for v := v0; v < v1; v++ {
+			dst := out.Row(v)
+			arg := argmax[v*d : (v+1)*d]
+			// Seed with the self term.
+			copy(dst, x.Row(v))
+			for j := range arg {
+				arg[j] = int32(v)
+			}
+			for _, u := range g.InNeighbors(v) {
+				src := x.Row(int(u))
+				for j := range dst {
+					if src[j] > dst[j] {
+						dst[j] = src[j]
+						arg[j] = u
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// ScatterMaxGrad routes ∂L/∂out back to the winning inputs recorded by
+// AggregateMaxArg: dx[argmax[v][j]][j] += dy[v][j]. Sequential over
+// destinations (multiple v may share a winner, so parallel scatter would
+// race); the work is O(|V|·d).
+func ScatterMaxGrad(dy *tensor.Matrix, argmax []int32, dx *tensor.Matrix) error {
+	if len(argmax) != len(dy.Data) {
+		return fmt.Errorf("spmm: argmax length %d != gradient elements %d", len(argmax), len(dy.Data))
+	}
+	if dx.Cols != dy.Cols {
+		return fmt.Errorf("spmm: gradient width mismatch")
+	}
+	d := dy.Cols
+	for v := 0; v < dy.Rows; v++ {
+		g := dy.Row(v)
+		arg := argmax[v*d : (v+1)*d]
+		for j, winner := range arg {
+			dx.Data[int(winner)*d+j] += g[j]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GlorotUniform fills m with Glorot (Xavier) uniform values using rng.
+// This is the initializer DGL's GraphSAGE layers use for weight matrices.
+func GlorotUniform(m *Matrix, rng *rand.Rand) {
+	limit := float32(math.Sqrt(6.0 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+}
+
+// RandomUniform fills m with uniform values in [lo, hi).
+func RandomUniform(m *Matrix, rng *rand.Rand, lo, hi float32) {
+	span := hi - lo
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float32()*span
+	}
+}
+
+// RandomNormal fills m with N(0, std²) values.
+func RandomNormal(m *Matrix, rng *rand.Rand, std float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}

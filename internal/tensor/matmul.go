@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// kernel block sizes for the tiled matmul. kc keeps a strip of B in L1/L2;
+// mc rows of A are processed per parallel task.
+const (
+	matmulKC       = 256
+	matmulRowChunk = 16
+)
+
+// MatMul computes C = A × B. A is m×k, B is k×n, C is m×n. C must not alias
+// A or B. The multiply is parallelized over row blocks of A and tiled over
+// the inner dimension so the active strip of B stays cache resident — the
+// same blocking discipline the paper applies to the aggregation primitive.
+func MatMul(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)×(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	c.Zero()
+	gemmAcc(c, a, b)
+}
+
+// MatMulAcc computes C += A × B without zeroing C first.
+func MatMulAcc(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)×(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	gemmAcc(c, a, b)
+}
+
+func gemmAcc(c, a, b *Matrix) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	parallelRows(m, func(i0, i1 int) {
+		for kk := 0; kk < k; kk += matmulKC {
+			kEnd := min(kk+matmulKC, k)
+			for i := i0; i < i1; i++ {
+				aRow := a.Data[i*k : (i+1)*k]
+				cRow := c.Data[i*n : (i+1)*n]
+				for p := kk; p < kEnd; p++ {
+					av := aRow[p]
+					if av == 0 {
+						continue
+					}
+					bRow := b.Data[p*n : (p+1)*n]
+					saxpyRow(cRow, bRow, av)
+				}
+			}
+		}
+	})
+}
+
+// saxpyRow computes dst += alpha*src with 4-way unrolling so the compiler
+// keeps the accumulators in registers. This is the scalar stand-in for the
+// SIMD body LIBXSMM would JIT (Alg. 3 in the paper).
+func saxpyRow(dst, src []float32, alpha float32) {
+	n := len(src)
+	_ = dst[n-1]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// MatMulTransA computes C = Aᵀ × B where A is k×m, B is k×n, C is m×n.
+// This is the shape needed for weight gradients (Xᵀ·dY) during backprop.
+func MatMulTransA(c, a, b *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch (%dx%d)ᵀ×(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	c.Zero()
+	m, n, k := c.Rows, c.Cols, a.Rows
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	// Parallelize over rows of C (columns of A) to avoid write conflicts.
+	parallelRows(m, func(i0, i1 int) {
+		for p := 0; p < k; p++ {
+			aRow := a.Data[p*m : (p+1)*m]
+			bRow := b.Data[p*n : (p+1)*n]
+			for i := i0; i < i1; i++ {
+				av := aRow[i]
+				if av == 0 {
+					continue
+				}
+				saxpyRow(c.Data[i*n:(i+1)*n], bRow, av)
+			}
+		}
+	})
+}
+
+// MatMulTransB computes C = A × Bᵀ where A is m×k, B is n×k, C is m×n.
+// This is the shape needed for input gradients (dY·Wᵀ) during backprop.
+func MatMulTransB(c, a, b *Matrix) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch (%dx%d)×(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	m, n, k := c.Rows, c.Cols, a.Cols
+	parallelRows(m, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			aRow := a.Data[i*k : (i+1)*k]
+			cRow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bRow := b.Data[j*k : (j+1)*k]
+				cRow[j] = dot(aRow, bRow)
+			}
+		}
+	})
+}
+
+func dot(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	_ = b[n-1]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// parallelRows splits [0, rows) into contiguous chunks and runs fn on each
+// chunk from a bounded worker pool. Chunks are contiguous so each worker
+// writes to disjoint cache lines of the output.
+func parallelRows(rows int, fn func(i0, i1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || rows < 2*matmulRowChunk {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		if i0 >= rows {
+			break
+		}
+		i1 := min(i0+chunk, rows)
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			fn(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}

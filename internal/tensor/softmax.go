@@ -1,0 +1,44 @@
+package tensor
+
+import "math"
+
+// SoftmaxRows computes out[i] = softmax(m[i]) row-wise with the usual
+// max-subtraction for numerical stability. out may alias m.
+func SoftmaxRows(out, m *Matrix) {
+	m.mustSameShape(out)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		maxV := src[0]
+		for _, v := range src[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range src {
+			e := math.Exp(float64(v - maxV))
+			dst[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1.0 / sum)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+}
+
+// LogSumExpRow returns log(Σ exp(row)) computed stably.
+func LogSumExpRow(row []float32) float64 {
+	maxV := row[0]
+	for _, v := range row[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for _, v := range row {
+		sum += math.Exp(float64(v - maxV))
+	}
+	return float64(maxV) + math.Log(sum)
+}

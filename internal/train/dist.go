@@ -1,0 +1,307 @@
+package train
+
+import (
+	"fmt"
+
+	"distgnn/internal/comm"
+	"distgnn/internal/datasets"
+	"distgnn/internal/model"
+	"distgnn/internal/nn"
+	"distgnn/internal/partition"
+	"distgnn/internal/quant"
+	"distgnn/internal/tensor"
+)
+
+// Algorithm selects one of the three distributed aggregation strategies of
+// §5.3 of the paper.
+type Algorithm string
+
+const (
+	// Algo0C performs only local aggregation — no communication. Fastest;
+	// the scaling roofline.
+	Algo0C Algorithm = "0c"
+	// AlgoCD0 synchronously exchanges partial aggregates of split vertices
+	// every layer, giving every vertex its complete neighborhood.
+	AlgoCD0 Algorithm = "cd-0"
+	// AlgoCDR delays partial-aggregate exchange by Delay epochs and spreads
+	// it over Delay bins of split vertices (DRPA, Alg. 4).
+	AlgoCDR Algorithm = "cd-r"
+)
+
+// DistConfig configures a distributed full-batch training run.
+type DistConfig struct {
+	Model         model.Config
+	NumPartitions int
+	Algo          Algorithm
+	// Delay is r of cd-r: partial aggregates sent in epoch e are consumed
+	// in epoch e+r. The paper uses r=5 throughout. Ignored otherwise.
+	Delay       int
+	Epochs      int
+	LR          float64
+	WeightDecay float64
+	UseAdam     bool
+	// Partitioner defaults to Libra.
+	Partitioner partition.Partitioner
+	Seed        int64
+	// Compute and Net translate the executed work and traffic into
+	// simulated per-socket wall clock (Fig. 5/6); zero values get defaults.
+	Compute comm.ComputeModel
+	Net     *comm.CostModel
+	// CommPrecision selects the wire format for partial-aggregate
+	// exchanges (the §7 future-work extension): FP32 (default), BF16 or
+	// FP16. Low-precision formats halve the network volume; values are
+	// rounded through the format so the accuracy impact is real.
+	CommPrecision quant.Precision
+}
+
+// DistEpochStat is one epoch of simulated-cluster timing plus the training
+// loss. Times are seconds on the modeled cluster: LAT/RAT split per §6.3
+// (LAT = forward local aggregation; RAT = remote aggregation including
+// pre/post processing and, for cd-0 only, exposed network time).
+type DistEpochStat struct {
+	Loss      float64
+	LAT       float64 // forward local aggregation, max across ranks
+	RAT       float64 // forward remote aggregation, max across ranks
+	BwdAgg    float64 // backward aggregation
+	MLP       float64 // dense layers fwd+bwd
+	ParamSync float64
+	Epoch     float64 // total simulated epoch time
+}
+
+// DistResult is the outcome of one distributed training run.
+type DistResult struct {
+	Epochs      []DistEpochStat
+	TrainAcc    float64
+	TestAcc     float64
+	Replication float64
+	SplitFrac   []float64 // per-rank split-vertex fraction
+	EdgeBalance float64
+	NumParams   int
+}
+
+// AvgEpochSeconds averages simulated epoch time over epochs [lo, hi),
+// clamped — the paper averages epochs 1–10 for 0c/cd-0 and 10–20 for cd-r.
+func (r *DistResult) AvgEpochSeconds(lo, hi int) float64 {
+	if hi > len(r.Epochs) {
+		hi = len(r.Epochs)
+	}
+	if lo >= hi {
+		return 0
+	}
+	var s float64
+	for _, e := range r.Epochs[lo:hi] {
+		s += e.Epoch
+	}
+	return s / float64(hi-lo)
+}
+
+// AvgLATRAT averages the forward local/remote aggregation split over the
+// same window (Fig. 6).
+func (r *DistResult) AvgLATRAT(lo, hi int) (lat, rat float64) {
+	if hi > len(r.Epochs) {
+		hi = len(r.Epochs)
+	}
+	if lo >= hi {
+		return 0, 0
+	}
+	for _, e := range r.Epochs[lo:hi] {
+		lat += e.LAT
+		rat += e.RAT
+	}
+	n := float64(hi - lo)
+	return lat / n, rat / n
+}
+
+// rankCtx is the per-rank training state.
+type rankCtx struct {
+	id     int
+	world  *comm.World
+	cfg    *DistConfig
+	part   *partition.Part
+	plan   *xplan
+	model  *model.GraphSAGE
+	x      *tensor.Matrix
+	labels []int32
+	// owned* hold local IDs of vertices this rank owns (root clone or only
+	// clone) — each global vertex is owned exactly once across ranks.
+	ownedTrain []int32
+	ownedTest  []int32
+
+	// aggregate widths per layer (input dim of each SAGE layer).
+	aggDims []int
+
+	// cd-r state.
+	captures  []*tensor.Matrix // fresh local aggregates per layer (split rows only)
+	remoteAdd []*tensor.Matrix // stale leaf-partial sums (root rows)
+	staleTot  []*tensor.Matrix // stale totals from roots (leaf rows)
+	staleMask []bool           // rows of staleTot that are valid
+	// delivery queues keyed by epoch.
+	pendingPartials map[int][]delivery
+	pendingTotals   map[int][]delivery
+
+	// per-epoch communication counters.
+	gatherBytes int64
+	netBytes    int64
+	netMsgs     int64
+
+	opt nn.Optimizer
+}
+
+// delivery is a received buffer waiting out its cd-r delay.
+type delivery struct {
+	peer int
+	bin  int
+	data []float32 // concatenated layer rows
+}
+
+// Distributed trains GraphSAGE over NumPartitions simulated sockets and
+// returns global accuracy plus per-epoch simulated timing.
+func Distributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error) {
+	if cfg.NumPartitions < 1 {
+		return nil, fmt.Errorf("train: NumPartitions must be ≥1, got %d", cfg.NumPartitions)
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("train: Epochs must be positive")
+	}
+	switch cfg.Algo {
+	case Algo0C, AlgoCD0:
+	case AlgoCDR:
+		if cfg.Delay < 1 {
+			return nil, fmt.Errorf("train: cd-r requires Delay ≥ 1, got %d", cfg.Delay)
+		}
+	default:
+		return nil, fmt.Errorf("train: unknown algorithm %q", cfg.Algo)
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = partition.Libra{Seed: cfg.Seed}
+	}
+	if cfg.Compute == (comm.ComputeModel{}) {
+		cfg.Compute = comm.DefaultComputeModel()
+	}
+	if cfg.Net == nil {
+		cfg.Net = comm.DefaultCostModel(cfg.NumPartitions)
+	}
+	mc := cfg.Model
+	if mc.InDim == 0 {
+		mc.InDim = ds.Features.Cols
+	}
+	if mc.OutDim == 0 {
+		mc.OutDim = ds.NumClasses
+	}
+	if mc.NumLayers == 0 {
+		mc.NumLayers = 3
+	}
+	if mc.Hidden == 0 {
+		mc.Hidden = 256
+	}
+	// Dropout masks cannot be kept coherent across clones; distributed
+	// training runs without dropout (the paper's GCN-aggregator GraphSAGE
+	// configuration likewise).
+	mc.DropoutP = 0
+	cfg.Model = mc
+
+	pt, err := partition.Partition(ds.G, cfg.Partitioner, cfg.NumPartitions, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	bins := 1
+	if cfg.Algo == AlgoCDR {
+		bins = cfg.Delay
+	}
+	plans := buildXPlans(pt, bins)
+
+	ranks, err := setupRanks(ds, &cfg, pt, plans)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DistResult{
+		Replication: pt.ReplicationFactor(),
+		SplitFrac:   pt.SplitVertexFraction(),
+		EdgeBalance: pt.EdgeBalance(),
+		NumParams:   ranks[0].model.NumParams(),
+		Epochs:      make([]DistEpochStat, cfg.Epochs),
+	}
+
+	globalTrain := len(ds.TrainIdx)
+	world := ranks[0].world
+	lossParts := make([]float64, cfg.NumPartitions)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		e := epoch
+		world.Run(func(rank int) {
+			r := ranks[rank]
+			r.resetCounters()
+			r.installHooks(e)
+
+			logits := r.model.Forward(r.x, true)
+			loss, dlogits := nn.MaskedCrossEntropy(logits, r.labels, r.ownedTrain)
+			// Re-weight the local mean into the global mean's share.
+			scale := float32(0)
+			if globalTrain > 0 {
+				scale = float32(len(r.ownedTrain)) / float32(globalTrain)
+			}
+			dlogits.Scale(scale)
+			lossParts[rank] = loss * float64(len(r.ownedTrain))
+
+			params := r.model.Params()
+			nn.ZeroGrads(params)
+			r.model.Backward(dlogits)
+
+			if cfg.Algo == AlgoCDR {
+				r.delayedExchange(e)
+			}
+
+			// Parameter gradient AllReduce (sum of per-rank global-mean
+			// shares = global mean) keeps all model replicas identical.
+			gbuf := nn.FlattenParams(params, true)
+			world.AllReduceSum(rank, gbuf)
+			nn.UnflattenParams(params, gbuf, true)
+			r.optStep()
+		})
+
+		res.Epochs[e] = timeEpoch(&cfg, ranks)
+		var lsum float64
+		for _, l := range lossParts {
+			lsum += l
+		}
+		if globalTrain > 0 {
+			res.Epochs[e].Loss = lsum / float64(globalTrain)
+		}
+	}
+
+	// Global evaluation: each rank scores its owned vertices; counts are
+	// summed with an AllReduce.
+	accs := make([][2]float64, cfg.NumPartitions) // {trainCorrect, testCorrect}
+	world.Run(func(rank int) {
+		r := ranks[rank]
+		r.installHooks(cfg.Epochs) // stale buffers (cd-r) / sync exchange (cd-0) still apply
+		logits := r.model.Forward(r.x, false)
+		pred := make([]int, logits.Rows)
+		logits.ArgmaxRows(pred)
+		var trainC, testC float64
+		for _, v := range r.ownedTrain {
+			if int32(pred[v]) == r.labels[v] {
+				trainC++
+			}
+		}
+		for _, v := range r.ownedTest {
+			if int32(pred[v]) == r.labels[v] {
+				testC++
+			}
+		}
+		accs[rank] = [2]float64{trainC, testC}
+	})
+	var trainC, testC float64
+	for _, a := range accs {
+		trainC += a[0]
+		testC += a[1]
+	}
+	if globalTrain > 0 {
+		res.TrainAcc = trainC / float64(globalTrain)
+	}
+	if len(ds.TestIdx) > 0 {
+		res.TestAcc = testC / float64(len(ds.TestIdx))
+	}
+	return res, nil
+}

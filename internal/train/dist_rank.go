@@ -1,0 +1,343 @@
+package train
+
+import (
+	"distgnn/internal/comm"
+	"distgnn/internal/datasets"
+	"distgnn/internal/model"
+	"distgnn/internal/nn"
+	"distgnn/internal/partition"
+	"distgnn/internal/tensor"
+)
+
+// setupRanks builds every rank's local dataset slice, model replica,
+// optimizer and cd-r buffers. All replicas share one model seed so initial
+// weights are identical, and the gradient AllReduce keeps them identical.
+func setupRanks(ds *datasets.Dataset, cfg *DistConfig, pt *partition.Partitioning, plans []*xplan) ([]*rankCtx, error) {
+	k := cfg.NumPartitions
+	world := comm.NewWorld(k)
+
+	// Owner of each global vertex: root clone of split vertices, the only
+	// clone otherwise.
+	owner := make([]int32, ds.G.NumVertices)
+	for v := range owner {
+		owner[v] = -1
+	}
+	for p := 0; p < k; p++ {
+		for local, g := range pt.Parts[p].GlobalID {
+			if owner[g] == -1 {
+				owner[g] = int32(p)
+			}
+			_ = local
+		}
+	}
+	for _, sv := range pt.Splits {
+		owner[sv.Global] = sv.Clones[0].Part
+	}
+
+	globalDeg := ds.G.InDegrees()
+	globalNorm := model.NormFromDegrees(globalDeg)
+
+	// Aggregate input widths per layer.
+	aggDims := make([]int, cfg.Model.NumLayers)
+	for l := range aggDims {
+		if l == 0 {
+			aggDims[l] = cfg.Model.InDim
+		} else {
+			aggDims[l] = cfg.Model.Hidden
+		}
+	}
+
+	ranks := make([]*rankCtx, k)
+	for p := 0; p < k; p++ {
+		part := pt.Parts[p]
+		nLocal := part.NumLocal()
+
+		// Local feature/label slices.
+		x := tensor.New(nLocal, ds.Features.Cols)
+		labels := make([]int32, nLocal)
+		norm := make([]float32, nLocal)
+		for local, g := range part.GlobalID {
+			copy(x.Row(local), ds.Features.Row(int(g)))
+			labels[local] = ds.Labels[g]
+			if cfg.Algo == Algo0C {
+				// 0c vertices only ever see their local partial
+				// neighborhood; normalize by the local degree.
+				norm[local] = 1 / float32(1+part.G.InDegree(local))
+			} else {
+				norm[local] = globalNorm[g]
+			}
+		}
+
+		m, err := model.New(part.G, cfg.Model, norm)
+		if err != nil {
+			return nil, err
+		}
+
+		r := &rankCtx{
+			id:      p,
+			world:   world,
+			cfg:     cfg,
+			part:    part,
+			plan:    plans[p],
+			model:   m,
+			x:       x,
+			labels:  labels,
+			aggDims: aggDims,
+		}
+
+		// Owned masks in local IDs.
+		for _, g := range ds.TrainIdx {
+			if owner[g] == int32(p) {
+				r.ownedTrain = append(r.ownedTrain, pt.LocalOf[p][g])
+			}
+		}
+		for _, g := range ds.TestIdx {
+			if owner[g] == int32(p) {
+				r.ownedTest = append(r.ownedTest, pt.LocalOf[p][g])
+			}
+		}
+
+		if cfg.Algo == AlgoCDR {
+			r.captures = make([]*tensor.Matrix, len(aggDims))
+			r.remoteAdd = make([]*tensor.Matrix, len(aggDims))
+			r.staleTot = make([]*tensor.Matrix, len(aggDims))
+			for l, d := range aggDims {
+				r.captures[l] = tensor.New(nLocal, d)
+				r.remoteAdd[l] = tensor.New(nLocal, d)
+				r.staleTot[l] = tensor.New(nLocal, d)
+			}
+			r.staleMask = make([]bool, nLocal)
+			r.pendingPartials = make(map[int][]delivery)
+			r.pendingTotals = make(map[int][]delivery)
+		}
+		ranks[p] = r
+	}
+
+	// Per-rank optimizers (identical hyperparameters; identical gradients
+	// after AllReduce ⇒ identical weight trajectories).
+	for _, r := range ranks {
+		if cfg.UseAdam {
+			r.opt = nn.NewAdam(cfg.LR, cfg.WeightDecay)
+		} else {
+			r.opt = &nn.SGD{LR: cfg.LR, WeightDecay: cfg.WeightDecay}
+		}
+	}
+	return ranks, nil
+}
+
+func (r *rankCtx) optStep() { r.opt.Step(r.model.Params()) }
+
+func (r *rankCtx) resetCounters() {
+	r.gatherBytes, r.netBytes, r.netMsgs = 0, 0, 0
+}
+
+// installHooks wires the model's forward hook for the configured algorithm
+// at the given epoch (cd-r needs the epoch to select its bin).
+func (r *rankCtx) installHooks(epoch int) {
+	switch r.cfg.Algo {
+	case Algo0C:
+		r.model.FwdHook = nil
+	case AlgoCD0:
+		r.model.FwdHook = func(layer int, agg *tensor.Matrix) {
+			r.exchangeSumBroadcast(agg, 0)
+		}
+	case AlgoCDR:
+		bin := epoch % r.plan.bins
+		r.model.FwdHook = func(layer int, agg *tensor.Matrix) {
+			r.cdrForwardHook(layer, agg, bin)
+		}
+	}
+}
+
+// exchangeSumBroadcast runs the synchronous two-phase tree exchange on the
+// given bin's rows of mat: leaves send partial rows to roots (AlltoAllV);
+// roots reduce them in; roots send completed rows back; leaves overwrite.
+// After it returns every clone of a bin split vertex holds the full sum.
+func (r *rankCtx) exchangeSumBroadcast(mat *tensor.Matrix, bin int) {
+	k := r.world.N
+	d := mat.Cols
+
+	// Phase A: leaf partials → roots.
+	send := make([][]float32, k)
+	for peer := 0; peer < k; peer++ {
+		rows := r.plan.leafSend[bin][peer]
+		send[peer] = r.cfg.CommPrecision.RoundSlice(packRows(mat, rows))
+		r.countSend(len(rows), d)
+	}
+	recv := r.world.AlltoAllV(r.id, send)
+	for peer := 0; peer < k; peer++ {
+		rows := r.plan.rootRecv[bin][peer]
+		if len(rows) > 0 {
+			addRows(mat, rows, recv[peer])
+			r.gatherBytes += int64(len(rows)*d) * 4
+		}
+	}
+
+	// Phase B: completed roots → leaves.
+	send = make([][]float32, k)
+	for peer := 0; peer < k; peer++ {
+		rows := r.plan.rootSend[bin][peer]
+		send[peer] = r.cfg.CommPrecision.RoundSlice(packRows(mat, rows))
+		r.countSend(len(rows), d)
+	}
+	recv = r.world.AlltoAllV(r.id, send)
+	for peer := 0; peer < k; peer++ {
+		rows := r.plan.leafRecv[bin][peer]
+		if len(rows) > 0 {
+			setRows(mat, rows, recv[peer])
+			r.gatherBytes += int64(len(rows)*d) * 4
+		}
+	}
+}
+
+func (r *rankCtx) countSend(rows, d int) {
+	if rows == 0 {
+		return
+	}
+	// Gather staging stays float32; the wire format sets network volume.
+	r.gatherBytes += int64(rows*d) * 4
+	r.netBytes += int64(rows*d) * int64(r.cfg.CommPrecision.Bytes())
+	r.netMsgs++
+}
+
+// cdrForwardHook is the per-layer forward hook of the DRPA algorithm:
+// capture this epoch's fresh local partials for the active bin, then apply
+// the stale remote contributions received in earlier epochs.
+func (r *rankCtx) cdrForwardHook(layer int, agg *tensor.Matrix, bin int) {
+	// Capture fresh local partials of rows this rank will send (as leaf)
+	// or fold into totals (as root) this epoch.
+	cap := r.captures[layer]
+	for peer := 0; peer < r.world.N; peer++ {
+		for _, row := range r.plan.leafSend[bin][peer] {
+			copy(cap.Row(int(row)), agg.Row(int(row)))
+		}
+		for _, row := range r.plan.rootSend[bin][peer] {
+			copy(cap.Row(int(row)), agg.Row(int(row)))
+		}
+	}
+	// Roots: add the stale sums of leaf partials.
+	agg.Add(r.remoteAdd[layer])
+	// Leaves: overwrite with the stale totals where one has arrived.
+	stale := r.staleTot[layer]
+	for v := 0; v < agg.Rows; v++ {
+		if r.staleMask[v] {
+			copy(agg.Row(v), stale.Row(v))
+		}
+	}
+}
+
+// delayedExchange runs at the end of each cd-r epoch: it ships this epoch's
+// bin of leaf partials, processes the bundles whose delay has elapsed
+// (root reduce + totals send-back), and applies totals whose delay has
+// elapsed on the leaf side. The physical transfer happens now; the r-epoch
+// staleness is enforced by the delivery queues.
+func (r *rankCtx) delayedExchange(epoch int) {
+	k := r.world.N
+	bin := epoch % r.plan.bins
+
+	// AlltoAll #1: leaf partials (concatenated across layers) → roots.
+	send := make([][]float32, k)
+	for peer := 0; peer < k; peer++ {
+		rows := r.plan.leafSend[bin][peer]
+		if len(rows) == 0 {
+			continue
+		}
+		var buf []float32
+		for l := range r.aggDims {
+			buf = append(buf, packRows(r.captures[l], rows)...)
+			r.countSend(len(rows), r.aggDims[l])
+		}
+		send[peer] = r.cfg.CommPrecision.RoundSlice(buf)
+	}
+	recv := r.world.AlltoAllV(r.id, send)
+	for peer := 0; peer < k; peer++ {
+		if len(recv[peer]) > 0 {
+			r.pendingPartials[epoch+r.cfg.Delay] = append(r.pendingPartials[epoch+r.cfg.Delay],
+				delivery{peer: peer, bin: bin, data: recv[peer]})
+		}
+	}
+
+	// Root side: process partials whose delay elapsed; they were sent in
+	// epoch-Delay for the same bin (Delay == bins ⇒ (epoch-Delay)%bins == bin).
+	due := r.pendingPartials[epoch]
+	delete(r.pendingPartials, epoch)
+	// The new arrivals replace the previous stale sums for this bin's rows.
+	for _, dl := range due {
+		for l := range r.aggDims {
+			zeroRows(r.remoteAdd[l], r.plan.rootRecv[dl.bin][dl.peer])
+		}
+	}
+	for _, dl := range due {
+		off := 0
+		for l, d := range r.aggDims {
+			rows := r.plan.rootRecv[dl.bin][dl.peer]
+			n := len(rows) * d
+			addRows(r.remoteAdd[l], rows, dl.data[off:off+n])
+			r.gatherBytes += int64(n) * 4
+			off += n
+		}
+	}
+
+	// AlltoAll #2: totals (fresh root partial + stale leaf sums) → leaves.
+	send = make([][]float32, k)
+	processedBins := map[int]bool{}
+	for _, dl := range due {
+		processedBins[dl.bin] = true
+	}
+	for b := range processedBins {
+		for peer := 0; peer < k; peer++ {
+			rows := r.plan.rootSend[b][peer]
+			if len(rows) == 0 {
+				continue
+			}
+			var buf []float32
+			for l, d := range r.aggDims {
+				chunk := make([]float32, len(rows)*d)
+				for i, row := range rows {
+					dst := chunk[i*d : (i+1)*d]
+					copy(dst, r.captures[l].Row(int(row)))
+					remote := r.remoteAdd[l].Row(int(row))
+					for j := range dst {
+						dst[j] += remote[j]
+					}
+				}
+				buf = append(buf, chunk...)
+				r.countSend(len(rows), d)
+			}
+			send[peer] = append(send[peer], r.cfg.CommPrecision.RoundSlice(buf)...)
+		}
+	}
+	recv = r.world.AlltoAllV(r.id, send)
+	for peer := 0; peer < k; peer++ {
+		if len(recv[peer]) > 0 {
+			r.pendingTotals[epoch+r.cfg.Delay] = append(r.pendingTotals[epoch+r.cfg.Delay],
+				delivery{peer: peer, bin: bin, data: recv[peer]})
+		}
+	}
+
+	// Leaf side: totals whose delay elapsed become the stale override.
+	dueTot := r.pendingTotals[epoch]
+	delete(r.pendingTotals, epoch)
+	for _, dl := range dueTot {
+		off := 0
+		for l, d := range r.aggDims {
+			rows := r.plan.leafRecv[dl.bin][dl.peer]
+			n := len(rows) * d
+			setRows(r.staleTot[l], rows, dl.data[off:off+n])
+			r.gatherBytes += int64(n) * 4
+			off += n
+			for _, row := range rows {
+				r.staleMask[row] = true
+			}
+		}
+	}
+}
+
+func zeroRows(mat *tensor.Matrix, rows []int32) {
+	for _, row := range rows {
+		dst := mat.Row(int(row))
+		for j := range dst {
+			dst[j] = 0
+		}
+	}
+}

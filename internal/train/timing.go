@@ -1,0 +1,78 @@
+package train
+
+// timing.go converts each epoch's executed work and communication counters
+// into simulated cluster time (Fig. 5/6). Each partition is modeled as one
+// full CPU socket: compute terms use the calibrated per-socket throughput
+// model and communication terms use the α–β network model. cd-r's network
+// transfers are overlapped with compute across epochs (§5.3), so its RAT
+// contains only the gather/scatter pre/post processing — the behaviour
+// §6.3 reports ("a negligible amount of time is spent waiting for
+// asynchronous overlapped communication").
+
+// aggWorkElems returns the forward aggregation work of one rank in
+// edge-feature element updates: Σ_layers |E_p| × d_l.
+func (r *rankCtx) aggWorkElems() int64 {
+	var total int64
+	for _, d := range r.aggDims {
+		total += int64(r.part.G.NumEdges) * int64(d)
+	}
+	return total
+}
+
+// mlpWorkMACs returns the dense-layer work of one rank per epoch in
+// multiply-accumulates: forward N·in·out per layer, ×3 for backward
+// (dW = xᵀ·dy and dx = dy·Wᵀ).
+func (r *rankCtx) mlpWorkMACs() int64 {
+	n := int64(r.part.NumLocal())
+	var fwd int64
+	in := int64(r.cfg.Model.InDim)
+	for l := 0; l < r.cfg.Model.NumLayers; l++ {
+		out := int64(r.cfg.Model.Hidden)
+		if l == r.cfg.Model.NumLayers-1 {
+			out = int64(r.cfg.Model.OutDim)
+		}
+		fwd += n * in * out
+		in = out
+	}
+	return 3 * fwd
+}
+
+// timeEpoch aggregates per-rank counters into the epoch's simulated timing:
+// the slowest rank bounds each phase (bulk-synchronous execution).
+func timeEpoch(cfg *DistConfig, ranks []*rankCtx) DistEpochStat {
+	var st DistEpochStat
+	for _, r := range ranks {
+		lat := cfg.Compute.AggSeconds(r.aggWorkElems())
+		bwd := lat // backward propagates gradients over the same edges
+		mlp := cfg.Compute.MLPSeconds(r.mlpWorkMACs())
+
+		rat := float64(r.gatherBytes) / cfg.Net.MemBandwidth
+		if cfg.Algo == AlgoCD0 {
+			// Synchronous exchange exposes the network time.
+			rat += float64(r.netMsgs)*cfg.Net.NetLatency +
+				float64(r.netBytes)/cfg.Net.NetBandwidth
+		}
+
+		if lat > st.LAT {
+			st.LAT = lat
+		}
+		if bwd > st.BwdAgg {
+			st.BwdAgg = bwd
+		}
+		if mlp > st.MLP {
+			st.MLP = mlp
+		}
+		if rat > st.RAT {
+			st.RAT = rat
+		}
+	}
+	// Parameter AllReduce: ring over K ranks of the gradient buffer.
+	if cfg.NumPartitions > 1 {
+		bytes := ranks[0].model.NumParams() * 4
+		steps := float64(2 * (cfg.NumPartitions - 1))
+		st.ParamSync = steps*cfg.Net.NetLatency +
+			steps*float64(bytes)/float64(cfg.NumPartitions)/cfg.Net.NetBandwidth
+	}
+	st.Epoch = st.LAT + st.BwdAgg + st.MLP + st.RAT + st.ParamSync
+	return st
+}

@@ -1,0 +1,122 @@
+package train
+
+import (
+	"testing"
+
+	"distgnn/internal/comm"
+	"distgnn/internal/partition"
+)
+
+// buildRanksForTiming constructs rank contexts without training.
+func buildRanksForTiming(t *testing.T, k int, algo Algorithm) (*DistConfig, []*rankCtx) {
+	t.Helper()
+	ds := testDataset(t)
+	cfg := DistConfig{
+		Model: smallModel(), NumPartitions: k, Algo: algo,
+		Epochs: 1, LR: 0.1, Seed: 3,
+		Compute: comm.ComputeModel{AggElemsPerSec: 1e9, MACsPerSec: 1e10},
+		Net:     comm.DefaultCostModel(k),
+	}
+	if algo == AlgoCDR {
+		cfg.Delay = 2
+	}
+	mc := cfg.Model
+	mc.InDim = ds.Features.Cols
+	mc.OutDim = ds.NumClasses
+	cfg.Model = mc
+	cfg.Partitioner = partition.Libra{Seed: 3}
+	pt, err := partition.Partition(ds.G, cfg.Partitioner, k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := 1
+	if algo == AlgoCDR {
+		bins = cfg.Delay
+	}
+	ranks, err := setupRanks(ds, &cfg, pt, buildXPlans(pt, bins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cfg, ranks
+}
+
+func TestAggWorkCountsEdgesTimesWidths(t *testing.T) {
+	cfg, ranks := buildRanksForTiming(t, 2, Algo0C)
+	for _, r := range ranks {
+		want := int64(r.part.G.NumEdges) * int64(cfg.Model.InDim+cfg.Model.Hidden)
+		if got := r.aggWorkElems(); got != want {
+			t.Fatalf("rank %d agg work %d, want %d", r.id, got, want)
+		}
+	}
+}
+
+func TestMLPWorkCountsMACs(t *testing.T) {
+	cfg, ranks := buildRanksForTiming(t, 2, Algo0C)
+	for _, r := range ranks {
+		n := int64(r.part.NumLocal())
+		fwd := n*int64(cfg.Model.InDim)*int64(cfg.Model.Hidden) +
+			n*int64(cfg.Model.Hidden)*int64(cfg.Model.OutDim)
+		if got := r.mlpWorkMACs(); got != 3*fwd {
+			t.Fatalf("rank %d MLP work %d, want %d", r.id, got, 3*fwd)
+		}
+	}
+}
+
+func TestTimeEpochUsesSlowestRank(t *testing.T) {
+	cfg, ranks := buildRanksForTiming(t, 4, Algo0C)
+	st := timeEpoch(cfg, ranks)
+	var maxLat float64
+	for _, r := range ranks {
+		lat := cfg.Compute.AggSeconds(r.aggWorkElems())
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	if st.LAT != maxLat {
+		t.Fatalf("LAT %v != slowest rank %v", st.LAT, maxLat)
+	}
+	if st.RAT != 0 {
+		t.Fatalf("0c RAT must be 0, got %v", st.RAT)
+	}
+	if st.ParamSync <= 0 {
+		t.Fatal("multi-rank param sync must cost time")
+	}
+	if st.Epoch < st.LAT+st.BwdAgg+st.MLP {
+		t.Fatal("epoch must include all compute phases")
+	}
+}
+
+func TestTimeEpochSingleRankNoParamSync(t *testing.T) {
+	cfg, ranks := buildRanksForTiming(t, 1, Algo0C)
+	st := timeEpoch(cfg, ranks)
+	if st.ParamSync != 0 {
+		t.Fatalf("k=1 param sync must be free, got %v", st.ParamSync)
+	}
+}
+
+func TestCD0NetworkExposedInRAT(t *testing.T) {
+	cfg, ranks := buildRanksForTiming(t, 2, AlgoCD0)
+	// Simulate counters as if an exchange happened.
+	ranks[0].gatherBytes = 1 << 20
+	ranks[0].netBytes = 1 << 20
+	ranks[0].netMsgs = 4
+	st := timeEpoch(cfg, ranks)
+	wantMin := float64(1<<20) / cfg.Net.NetBandwidth
+	if st.RAT < wantMin {
+		t.Fatalf("cd-0 RAT %v must include network term ≥ %v", st.RAT, wantMin)
+	}
+
+	// Same counters under cd-r: network is hidden, only gather shows.
+	cfgR, ranksR := buildRanksForTiming(t, 2, AlgoCDR)
+	ranksR[0].gatherBytes = 1 << 20
+	ranksR[0].netBytes = 1 << 20
+	ranksR[0].netMsgs = 4
+	stR := timeEpoch(cfgR, ranksR)
+	if stR.RAT >= st.RAT {
+		t.Fatalf("cd-r RAT %v must be below cd-0 RAT %v", stR.RAT, st.RAT)
+	}
+	wantGather := float64(1<<20) / cfgR.Net.MemBandwidth
+	if stR.RAT != wantGather {
+		t.Fatalf("cd-r RAT %v must be pre/post only (%v)", stR.RAT, wantGather)
+	}
+}
