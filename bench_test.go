@@ -15,6 +15,7 @@ import (
 	"distgnn/internal/minibatch"
 	"distgnn/internal/model"
 	"distgnn/internal/nn"
+	"distgnn/internal/parallel"
 	"distgnn/internal/partition"
 	"distgnn/internal/spmm"
 	"distgnn/internal/tensor"
@@ -295,6 +296,82 @@ func BenchmarkTable9MiniBatchEpoch(b *testing.B) {
 		}
 		if len(res.Epochs) != 1 {
 			b.Fatal("missing epoch")
+		}
+	}
+}
+
+// --- Cross-cutting: unified parallel runtime, serial vs pooled --------------
+
+// withWorkers runs body under a fixed worker-pool size and restores the
+// default afterwards, so the serial arm is a true single-thread baseline.
+func withWorkers(b *testing.B, workers int, body func(b *testing.B)) {
+	parallel.Configure(parallel.Config{Workers: workers})
+	defer parallel.Configure(parallel.Config{})
+	body(b)
+}
+
+// BenchmarkRuntimeSpMM records ns/op and allocs/op for the optimized
+// aggregation kernel with the pool pinned to one worker vs the full team —
+// the speedup (and the per-op allocation floor) the unified runtime buys.
+func BenchmarkRuntimeSpMM(b *testing.B) {
+	ds := benchDataset(b, "reddit-sim")
+	args := aggArgs(ds)
+	plan := spmm.NewPlan(ds.G, spmm.DefaultOptions(8))
+	for _, arm := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pooled", 0}} {
+		b.Run(arm.name, func(b *testing.B) {
+			withWorkers(b, arm.workers, func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := plan.Run(args); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkRuntimeMatMul is the dense-kernel twin of BenchmarkRuntimeSpMM.
+func BenchmarkRuntimeMatMul(b *testing.B) {
+	const m, k, n = 4096, 128, 128
+	a := tensor.New(m, k)
+	bm := tensor.New(k, n)
+	c := tensor.New(m, n)
+	for i := range a.Data {
+		a.Data[i] = float32(i%17) * 0.25
+	}
+	for i := range bm.Data {
+		bm.Data[i] = float32(i%13) * 0.5
+	}
+	for _, arm := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pooled", 0}} {
+		b.Run(arm.name, func(b *testing.B) {
+			withWorkers(b, arm.workers, func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tensor.MatMul(c, a, bm)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkRuntimeAutoTune prices the one-shot kernel sweep so its
+// amortization argument stays checkable.
+func BenchmarkRuntimeAutoTune(b *testing.B) {
+	ds := benchDataset(b, "reddit-sim")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := spmm.AutoTune(ds.G, ds.Features.Cols)
+		if opt.NumBlocks < 1 {
+			b.Fatal("bad autotune result")
 		}
 	}
 }

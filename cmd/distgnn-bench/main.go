@@ -18,13 +18,20 @@ import (
 	"strings"
 
 	"distgnn/internal/bench"
+	"distgnn/internal/parallel"
 )
 
 func main() {
 	scale := flag.Float64("scale", 0.5, "dataset scale factor (1.0 = registry base size)")
 	epochs := flag.Int("epochs", 0, "override per-experiment epoch/iteration counts")
+	workers := flag.Int("workers", 0,
+		"kernel worker-pool size, the OMP_NUM_THREADS analogue (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.Configure(parallel.Config{Workers: *workers})
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {

@@ -37,6 +37,10 @@ func main() {
 	layers := flag.Int("layers", 3, "number of GraphSAGE layers")
 	seed := flag.Int64("seed", 1, "random seed")
 	save := flag.String("save", "", "write trained model parameters to this file (single-socket mode)")
+	workers := flag.Int("workers", 0,
+		"kernel worker-pool size, the OMP_NUM_THREADS analogue (0 = GOMAXPROCS)")
+	autotune := flag.Bool("autotune", false,
+		"benchmark aggregation-kernel variants on the dataset and use the fastest (replaces the built-in heuristic)")
 	flag.Parse()
 
 	var ds *datasets.Dataset
@@ -60,10 +64,11 @@ func main() {
 		name, ds.G.NumVertices, ds.G.NumEdges, ds.G.AvgDegree(),
 		ds.Features.Cols, ds.NumClasses)
 
-	mc := model.Config{Hidden: *hidden, NumLayers: *layers, Seed: *seed}
+	mc := model.Config{Hidden: *hidden, NumLayers: *layers, Seed: *seed, AutoTuneAgg: *autotune}
 	if *sockets <= 1 {
 		res, err := train.SingleSocket(ds, train.SingleConfig{
 			Model: mc, Epochs: *epochs, LR: *lr, WeightDecay: *wd, UseAdam: *adam,
+			Workers: *workers,
 		})
 		if err != nil {
 			fatal(err)
@@ -96,7 +101,7 @@ func main() {
 	res, err := train.Distributed(ds, train.DistConfig{
 		Model: mc, NumPartitions: *sockets, Algo: train.Algorithm(*algo),
 		Delay: *delay, Epochs: *epochs, LR: *lr, WeightDecay: *wd,
-		UseAdam: *adam, Seed: *seed,
+		UseAdam: *adam, Seed: *seed, Workers: *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,3 @@
+module distgnn
+
+go 1.24

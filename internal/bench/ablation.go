@@ -26,6 +26,7 @@ func Ablations() []Experiment {
 		{"abl-model", "Ablation: GCN vs GIN vs GAT accuracy", AblationModel},
 		{"abl-mb-dist", "Ablation: distributed mini-batch scaling (§7 future work)", AblationMiniBatchDist},
 		{"abl-reorder", "Ablation: vertex reordering vs AP cache reuse", AblationReorder},
+		{"abl-workers", "Ablation: worker-pool size vs AP/matmul time (OMP_NUM_THREADS)", AblationWorkers},
 	}
 }
 

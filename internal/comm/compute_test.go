@@ -29,6 +29,9 @@ func TestCalibrateComputeModel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration takes a few hundred milliseconds")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation slows kernels past the plausibility bounds")
+	}
 	cm := CalibrateComputeModel()
 	// Any functioning machine aggregates between 10M and 1T element
 	// updates per second and computes between 100M and 100T MAC/s.

@@ -1,0 +1,7 @@
+//go:build race
+
+package comm
+
+// raceEnabled reports whether the race detector is compiled in; throughput
+// plausibility thresholds are meaningless under its instrumentation.
+const raceEnabled = true

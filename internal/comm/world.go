@@ -11,6 +11,8 @@ package comm
 import (
 	"fmt"
 	"sync"
+
+	"distgnn/internal/parallel"
 )
 
 // World is a communicator over N ranks. All collective operations are
@@ -81,7 +83,7 @@ func (w *World) AllReduceSum(rank int, data []float32) {
 		panic(fmt.Sprintf("comm: AllReduceSum length mismatch: rank %d has %d, rank 0 has %d",
 			rank, len(data), len(slots[0])))
 	}
-	out := make([]float32, len(data))
+	out := reduceScratch.GetZeroed(len(data))
 	for r := 0; r < w.N; r++ {
 		src := slots[r]
 		for i, v := range src {
@@ -96,7 +98,13 @@ func (w *World) AllReduceSum(rank int, data []float32) {
 	// data aliases this rank's slot; writing it is only safe once every
 	// rank has passed the closing barrier above.
 	copy(data, out)
+	reduceScratch.Put(out)
 }
+
+// reduceScratch recycles the per-rank reduction buffers — AllReduceSum runs
+// once per epoch per rank over the full flattened gradient, which used to
+// allocate the whole buffer every time.
+var reduceScratch parallel.Scratch[float32]
 
 // AlltoAllV exchanges variable-length float32 buffers: send[j] goes to rank
 // j, and the returned recv[j] is the buffer rank j sent to this rank.
@@ -132,28 +140,16 @@ func (w *World) AlltoAllV(rank int, send [][]float32) [][]float32 {
 	return recv
 }
 
-// Run spawns fn for every rank and waits for all to return. The first
-// panic (if any) is re-raised after all goroutines settle, so tests fail
-// cleanly rather than deadlock.
+// Run spawns fn for every rank and waits for all to return. Ranks block on
+// barriers, so each needs a dedicated goroutine — they run on a
+// parallel.Group rather than the bounded kernel pool, which re-raises the
+// first panic (if any) after all goroutines settle so tests fail cleanly
+// rather than deadlock.
 func (w *World) Run(fn func(rank int)) {
-	var wg sync.WaitGroup
-	panics := make([]any, w.N)
+	var g parallel.Group
 	for r := 0; r < w.N; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panics[rank] = p
-				}
-			}()
-			fn(rank)
-		}(r)
+		rank := r
+		g.Go(func() { fn(rank) })
 	}
-	wg.Wait()
-	for _, p := range panics {
-		if p != nil {
-			panic(p)
-		}
-	}
+	g.Wait()
 }

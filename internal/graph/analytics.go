@@ -1,7 +1,18 @@
 package graph
 
+import (
+	"sync"
+
+	"distgnn/internal/parallel"
+)
+
 // Analytics helpers used to validate generated datasets (degree skew,
-// connectivity) and to diagnose partitions.
+// connectivity) and to diagnose partitions. Per-vertex sweeps run on the
+// shared worker pool; vertex chunks are merged after the parallel phase.
+
+// degreeGrain bounds how finely per-vertex degree sweeps are chunked — the
+// per-vertex work is two indptr loads, so chunks must be large.
+const degreeGrain = 4096
 
 // WeaklyConnectedComponents labels each vertex with a component ID in
 // [0, count) treating edges as undirected, and returns the labels and the
@@ -61,21 +72,38 @@ func LargestComponentFraction(g *CSR) float64 {
 
 // DegreeHistogram returns log2-bucketed in-degree counts: bucket i counts
 // vertices with degree in [2^i, 2^(i+1)), bucket 0 also holding degree 0–1.
-// Power-law graphs show a long, slowly decaying tail.
+// Power-law graphs show a long, slowly decaying tail. Each worker chunk
+// accumulates a private histogram; partials are summed at the end.
 func DegreeHistogram(g *CSR) []int {
-	var hist []int
-	for v := 0; v < g.NumVertices; v++ {
-		d := g.InDegree(v)
-		bucket := 0
-		for d > 1 {
-			d >>= 1
-			bucket++
+	const maxBuckets = 64 // log2 of any int64 degree fits
+	var (
+		mu   sync.Mutex
+		hist []int
+	)
+	parallel.For(g.NumVertices, degreeGrain, func(v0, v1 int) {
+		var h [maxBuckets]int
+		top := 0
+		for v := v0; v < v1; v++ {
+			d := g.InDegree(v)
+			bucket := 0
+			for d > 1 {
+				d >>= 1
+				bucket++
+			}
+			h[bucket]++
+			if bucket+1 > top {
+				top = bucket + 1
+			}
 		}
-		for len(hist) <= bucket {
+		mu.Lock()
+		for len(hist) < top {
 			hist = append(hist, 0)
 		}
-		hist[bucket]++
-	}
+		for b := 0; b < top; b++ {
+			hist[b] += h[b]
+		}
+		mu.Unlock()
+	})
 	return hist
 }
 
@@ -88,9 +116,11 @@ func GiniCoefficient(g *CSR) float64 {
 		return 0
 	}
 	deg := make([]int, n)
-	for v := 0; v < n; v++ {
-		deg[v] = g.InDegree(v)
-	}
+	parallel.For(n, degreeGrain, func(v0, v1 int) {
+		for v := v0; v < v1; v++ {
+			deg[v] = g.InDegree(v)
+		}
+	})
 	// Counting sort by degree (bounded by max degree).
 	maxDeg := 0
 	for _, d := range deg {

@@ -1,6 +1,10 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+
+	"distgnn/internal/parallel"
+)
 
 // Vertex reordering: the aggregation primitive's cache reuse depends on
 // neighbors having nearby IDs (the block decomposition of Alg. 2 cuts the
@@ -73,9 +77,11 @@ func BFSOrder(g *CSR) Permutation {
 // highest-reuse vectors — a common preprocessing step for power-law graphs.
 func DegreeOrder(g *CSR) Permutation {
 	total := make([]int, g.NumVertices)
-	for v := 0; v < g.NumVertices; v++ {
-		total[v] = g.InDegree(v)
-	}
+	parallel.For(g.NumVertices, degreeGrain, func(v0, v1 int) {
+		for v := v0; v < v1; v++ {
+			total[v] = g.InDegree(v)
+		}
+	})
 	for _, e := range g.Edges() {
 		total[e.Src]++
 	}
@@ -117,10 +123,14 @@ func ApplyPermutation(g *CSR, p Permutation) *CSR {
 // with the graph.
 func PermuteRows(data []float32, rowLen int, p Permutation) []float32 {
 	out := make([]float32, len(data))
-	for old, newID := range p {
-		copy(out[int(newID)*rowLen:(int(newID)+1)*rowLen],
-			data[old*rowLen:(old+1)*rowLen])
-	}
+	// p is a bijection, so writes are disjoint across chunks of old IDs.
+	parallel.For(len(p), 1024, func(lo, hi int) {
+		for old := lo; old < hi; old++ {
+			newID := p[old]
+			copy(out[int(newID)*rowLen:(int(newID)+1)*rowLen],
+				data[old*rowLen:(old+1)*rowLen])
+		}
+	})
 	return out
 }
 

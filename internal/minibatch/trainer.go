@@ -7,6 +7,7 @@ import (
 
 	"distgnn/internal/datasets"
 	"distgnn/internal/nn"
+	"distgnn/internal/parallel"
 	"distgnn/internal/tensor"
 )
 
@@ -20,6 +21,9 @@ type Config struct {
 	LR        float64
 	UseAdam   bool
 	Seed      int64
+	// Workers sizes the process-wide kernel worker pool for this run — the
+	// OMP_NUM_THREADS knob. 0 keeps the current pool.
+	Workers int
 }
 
 // EpochStat is one mini-batch epoch: loss averaged over batches, wall time,
@@ -179,6 +183,9 @@ func Train(ds *datasets.Dataset, cfg Config) (*Result, error) {
 	}
 	if cfg.BatchSize < 1 || cfg.Epochs < 1 {
 		return nil, fmt.Errorf("minibatch: BatchSize and Epochs must be positive")
+	}
+	if cfg.Workers > 0 {
+		parallel.Configure(parallel.Config{Workers: cfg.Workers})
 	}
 	sampler, err := NewSampler(ds.G, cfg.Fanouts, cfg.Seed)
 	if err != nil {

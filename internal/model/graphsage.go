@@ -65,6 +65,11 @@ type Config struct {
 	// AggOpt configures the aggregation-primitive kernel; the zero value
 	// (defaulted in New) is the fully optimized configuration.
 	AggOpt spmm.Options
+	// AutoTuneAgg benchmarks kernel variants on g at construction and uses
+	// the fastest instead of the DefaultOptions heuristic (ignored when
+	// AggOpt is set explicitly or UseBaselineAgg is on). The one-shot sweep
+	// costs a few aggregation passes, amortized over the training epochs.
+	AutoTuneAgg bool
 	// UseBaselineAgg forces the Alg. 1 baseline kernel — the "DGL 0.5.3
 	// baseline" arm of Fig. 2.
 	UseBaselineAgg bool
@@ -126,7 +131,15 @@ func New(g *graph.CSR, cfg Config, norm []float32) (*GraphSAGE, error) {
 		return nil, fmt.Errorf("model: norm length %d != vertices %d", len(norm), g.NumVertices)
 	}
 	if cfg.AggOpt == (spmm.Options{}) {
-		cfg.AggOpt = spmm.DefaultOptions(pickNumBlocks(g))
+		if cfg.AutoTuneAgg && !cfg.UseBaselineAgg {
+			width := cfg.Hidden
+			if width <= 0 {
+				width = cfg.InDim
+			}
+			cfg.AggOpt = spmm.AutoTune(g, width)
+		} else {
+			cfg.AggOpt = spmm.DefaultOptions(pickNumBlocks(g))
+		}
 	}
 	m := &GraphSAGE{Cfg: cfg, G: g, Norm: norm}
 	if !cfg.UseBaselineAgg {

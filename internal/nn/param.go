@@ -47,21 +47,34 @@ func ZeroGrads(params []*Param) {
 // FlattenParams copies all parameter values into one contiguous buffer,
 // in order — the layout used for the distributed parameter AllReduce.
 func FlattenParams(params []*Param, grad bool) []float32 {
+	out := make([]float32, TotalElements(params))
+	FlattenParamsInto(out, params, grad)
+	return out
+}
+
+// TotalElements returns the summed element count of params — the length
+// FlattenParamsInto requires of its buffer.
+func TotalElements(params []*Param) int {
 	n := 0
 	for _, p := range params {
 		n += p.NumElements()
 	}
-	out := make([]float32, n)
+	return n
+}
+
+// FlattenParamsInto gathers parameters (or their gradients) into buf, which
+// must have length TotalElements(params). The allocation-free form of
+// FlattenParams for per-epoch use with a scratch arena.
+func FlattenParamsInto(buf []float32, params []*Param, grad bool) {
 	off := 0
 	for _, p := range params {
 		src := p.W.Data
 		if grad {
 			src = p.Grad.Data
 		}
-		copy(out[off:], src)
+		copy(buf[off:], src)
 		off += len(src)
 	}
-	return out
 }
 
 // UnflattenParams scatters a contiguous buffer back into parameters (or

@@ -1,0 +1,285 @@
+// Package parallel is the process-wide parallel runtime every kernel in the
+// repository schedules onto: one persistent worker pool standing in for the
+// OpenMP thread team of the paper. The paper's optimization ladder (Alg. 1–3)
+// is entirely about how aggregation work is mapped onto cores; centralizing
+// that mapping here gives every layer — tensor, spmm, comm, graph, train —
+// the same tunable worker count (the OMP_NUM_THREADS analogue), removes
+// per-call goroutine spawn from the hot paths, and makes static vs dynamic
+// scheduling a one-line choice at each call site:
+//
+//   - For(n, grain, fn): static chunking — at most one contiguous chunk per
+//     worker, schedule(static).
+//   - Dynamic(n, chunk, fn): fixed-size chunks handed out from an atomic
+//     work queue, schedule(dynamic) — power-law degree skew self-balances.
+//
+// Both are nested-call safe and deadlock-free under any worker count: the
+// calling goroutine always executes work itself, and while waiting for
+// stragglers it steals pending tasks from the pool, so a saturated or
+// undersized pool degrades to inline execution instead of blocking.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config tunes the process-wide runtime.
+type Config struct {
+	// Workers is the size of the worker team, counting the submitting
+	// goroutine. 1 means fully serial execution; ≤0 means GOMAXPROCS.
+	Workers int
+}
+
+// pool is the worker team: workers-1 persistent goroutines plus the caller.
+type pool struct {
+	workers int
+	tasks   chan func()   // nil when workers <= 1
+	stop    chan struct{} // closed on Configure to retire this team
+}
+
+var active atomic.Pointer[pool]
+
+func init() {
+	active.Store(newPool(runtime.GOMAXPROCS(0)))
+}
+
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &pool{workers: workers}
+	if workers > 1 {
+		// The buffer bounds how many chunks can be queued ahead; submission
+		// past it falls back to inline execution in the caller.
+		p.tasks = make(chan func(), 8*workers)
+		p.stop = make(chan struct{})
+		for i := 0; i < workers-1; i++ {
+			go p.run()
+		}
+	}
+	return p
+}
+
+func (p *pool) run() {
+	for {
+		select {
+		case t := <-p.tasks:
+			t()
+		case <-p.stop:
+			// Drain whatever was queued before retiring so no task is
+			// stranded (joiners would still steal it, but this is prompter).
+			for {
+				select {
+				case t := <-p.tasks:
+					t()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// trySubmit hands t to an idle worker slot; it never blocks. False means the
+// queue is full (or the pool is serial) and the caller should run the work
+// itself.
+func (p *pool) trySubmit(t func()) bool {
+	if p.tasks == nil {
+		return false
+	}
+	select {
+	case p.tasks <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+// Configure replaces the worker team. Call it once at startup (flag parsing);
+// kernels already in flight on the old team finish there. Safe to call again
+// — benchmarks use it to compare serial vs pooled execution. A no-op when
+// the requested size matches the current team, so layered configuration
+// (CLI flag plus trainer config) doesn't respawn identical workers.
+func Configure(cfg Config) {
+	n := cfg.Workers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if active.Load().workers == n {
+		return
+	}
+	old := active.Swap(newPool(n))
+	if old != nil && old.stop != nil {
+		close(old.stop)
+	}
+}
+
+// Workers reports the current team size — the value kernels use to split
+// work, read once per kernel invocation instead of runtime.NumCPU per call.
+func Workers() int {
+	return active.Load().workers
+}
+
+// For runs fn over [0, n) with static chunking: the range is cut into at
+// most Workers() contiguous chunks of at least grain elements each (the
+// trailing remainder may be smaller), one per worker — the OpenMP
+// schedule(static) analogue. Ranges shorter than 2*grain run serially. fn must treat its [lo, hi)
+// range as exclusive property; chunk boundaries depend only on n, grain and
+// the configured worker count, so disjoint-write kernels are deterministic.
+// A panic in any chunk is re-raised on the calling goroutine after all
+// chunks settle.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := active.Load()
+	w := p.workers
+	// Floor division guarantees every chunk carries at least grain elements
+	// (only the trailing remainder may be smaller) and that ranges under
+	// 2*grain stay serial — grain is the minimum profitable task size.
+	if maxChunks := n / grain; w > maxChunks {
+		w = maxChunks
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	p.dispatch(n, chunk, w, fn)
+}
+
+// Dynamic runs fn over [0, n) with dynamic chunking: fixed-size chunks are
+// handed out from an atomic counter as workers free up — the OpenMP
+// schedule(dynamic, chunk) analogue, the paper's Alg. 1 load-balancing fix
+// for power-law destination skew. chunk ≤ 0 defaults to 64. Panic and
+// determinism semantics match For.
+func Dynamic(n, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 64
+	}
+	p := active.Load()
+	w := p.workers
+	if maxChunks := (n + chunk - 1) / chunk; w > maxChunks {
+		w = maxChunks
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	p.dispatch(n, chunk, w, fn)
+}
+
+// dispatch is the shared fork-join engine: w-1 runner tasks are offered to
+// the pool, the caller runs a runner inline, and every runner pulls chunk
+// offsets from one atomic dispenser until [0, n) is covered. The caller then
+// joins, stealing unrelated pool tasks while it waits so nested invocations
+// can never deadlock.
+func (p *pool) dispatch(n, chunk, w int, fn func(lo, hi int)) {
+	var (
+		next    atomic.Int64 // next unclaimed offset
+		pending atomic.Int64 // runners not yet finished
+		panicV  atomic.Pointer[recovered]
+		done    = make(chan struct{})
+	)
+	runner := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicV.CompareAndSwap(nil, &recovered{value: r, stack: stack()})
+				// Claim the rest of the range so other runners stop early.
+				next.Store(int64(n))
+			}
+			if pending.Add(-1) == 0 {
+				close(done)
+			}
+		}()
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+
+	pending.Store(1) // the caller's own runner
+	for i := 0; i < w-1; i++ {
+		pending.Add(1)
+		if !p.trySubmit(runner) {
+			pending.Add(-1)
+			break // queue full: the team is saturated, caller works alone
+		}
+	}
+	runner()
+
+	// Help-first join: while our submitted runners are queued or running,
+	// execute other pending pool tasks instead of blocking. This guarantees
+	// progress when every worker is itself waiting on a nested dispatch.
+	for {
+		select {
+		case <-done:
+			if r := panicV.Load(); r != nil {
+				panic(fmt.Sprintf("parallel: worker panic: %v\n%s", r.value, r.stack))
+			}
+			return
+		case t := <-p.tasks:
+			t()
+		}
+	}
+}
+
+// recovered carries a worker panic (and its stack) back to the caller.
+type recovered struct {
+	value any
+	stack string
+}
+
+func stack() string {
+	buf := make([]byte, 4096)
+	return string(buf[:runtime.Stack(buf, false)])
+}
+
+// Group runs a set of long-lived, mutually-synchronizing goroutines — rank
+// bodies that block on barriers, async exchangers — which must each own a
+// dedicated goroutine and therefore cannot share the bounded worker team.
+// It centralizes the spawn/join/panic-propagation idiom: the first panic
+// value is re-raised verbatim from Wait after every goroutine settles, so
+// callers can assert on it and tests fail cleanly rather than deadlock.
+type Group struct {
+	wg    sync.WaitGroup
+	panic atomic.Pointer[recovered]
+}
+
+// Go runs fn on a new goroutine owned by the group.
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.panic.CompareAndSwap(nil, &recovered{value: r})
+			}
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every goroutine started with Go has returned, then
+// re-raises the first panic observed, if any.
+func (g *Group) Wait() {
+	g.wg.Wait()
+	if r := g.panic.Load(); r != nil {
+		panic(r.value)
+	}
+}

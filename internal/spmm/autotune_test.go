@@ -1,0 +1,49 @@
+package spmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"distgnn/internal/tensor"
+)
+
+// TestAutoTuneProducesCorrectPlan checks that whatever configuration wins
+// the sweep computes the same aggregate as the interpreted baseline.
+func TestAutoTuneProducesCorrectPlan(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(1)), 500, 3000)
+	const d = 20
+	opt := AutoTune(g, d)
+	if opt.NumBlocks < 1 || opt.ChunkSize < 1 {
+		t.Fatalf("AutoTune returned unnormalized options %+v", opt)
+	}
+
+	fv := tensor.New(g.NumVertices, d)
+	rng := rand.New(rand.NewSource(7))
+	for i := range fv.Data {
+		fv.Data[i] = rng.Float32() - 0.5
+	}
+	want := tensor.New(g.NumVertices, d)
+	if err := Baseline(&Args{G: g, FV: fv, FO: want, Op: OpCopyLHS, Red: ReduceSum}); err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.New(g.NumVertices, d)
+	plan := NewPlan(g, opt)
+	if err := plan.Run(&Args{G: g, FV: fv, FO: got, Op: OpCopyLHS, Red: ReduceSum}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		diff := want.Data[i] - got.Data[i]
+		if diff < -1e-4 || diff > 1e-4 {
+			t.Fatalf("tuned plan diverges from baseline at %d: %v vs %v",
+				i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestAutoTuneTinyGraph(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(2)), 8, 16)
+	opt := AutoTune(g, 0) // d ≤ 0 must default, not crash
+	if opt.NumBlocks != 1 {
+		t.Fatalf("tiny graph should not be blocked, got %+v", opt)
+	}
+}

@@ -1,9 +1,6 @@
 package spmm
 
-import (
-	"runtime"
-	"sync"
-)
+import "distgnn/internal/parallel"
 
 // Baseline runs the aggregation primitive exactly as Alg. 1 of the paper
 // describes the DGL implementation: destination vertices are statically
@@ -48,34 +45,9 @@ func Baseline(a *Args) error {
 	return nil
 }
 
-// staticParallel splits [0, n) into one contiguous chunk per worker — the
-// OpenMP schedule(static) analogue. Power-law degree skew makes chunks
+// staticParallel splits [0, n) into one contiguous chunk per pool worker —
+// the OpenMP schedule(static) analogue. Power-law degree skew makes chunks
 // unbalanced, which is exactly the pathology dynamic scheduling fixes.
 func staticParallel(n int, fn func(i0, i1 int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		i0 := w * chunk
-		if i0 >= n {
-			break
-		}
-		i1 := i0 + chunk
-		if i1 > n {
-			i1 = n
-		}
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			fn(i0, i1)
-		}(i0, i1)
-	}
-	wg.Wait()
+	parallel.For(n, 1, fn)
 }

@@ -2,11 +2,9 @@ package spmm
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"distgnn/internal/graph"
+	"distgnn/internal/parallel"
 )
 
 // Schedule selects how destination vertices are distributed over workers.
@@ -103,42 +101,14 @@ func (p *Plan) runBlock(a *Args, blk *graph.CSR) {
 }
 
 // forEachDst drives the destination-vertex loop under the configured
-// schedule. fn processes the half-open vertex range [v0, v1).
+// schedule on the shared worker pool. fn processes the half-open vertex
+// range [v0, v1).
 func (p *Plan) forEachDst(blk *graph.CSR, fn func(v0, v1 int)) {
-	n := blk.NumVertices
 	if p.Opt.Schedule == ScheduleStatic {
-		staticParallel(n, fn)
+		parallel.For(blk.NumVertices, 1, fn)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	chunk := p.Opt.ChunkSize
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				v0 := int(next.Add(int64(chunk))) - chunk
-				if v0 >= n {
-					return
-				}
-				v1 := v0 + chunk
-				if v1 > n {
-					v1 = n
-				}
-				fn(v0, v1)
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.Dynamic(blk.NumVertices, p.Opt.ChunkSize, fn)
 }
 
 // vertexBody returns the per-vertex-range aggregation body: either the

@@ -2,8 +2,8 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"distgnn/internal/parallel"
 )
 
 // kernel block sizes for the tiled matmul. kc keeps a strip of B in L1/L2;
@@ -143,31 +143,9 @@ func dot(a, b []float32) float32 {
 	return s
 }
 
-// parallelRows splits [0, rows) into contiguous chunks and runs fn on each
-// chunk from a bounded worker pool. Chunks are contiguous so each worker
-// writes to disjoint cache lines of the output.
+// parallelRows splits [0, rows) into contiguous chunks of at least
+// matmulRowChunk rows on the shared worker pool. Chunks are contiguous so
+// each worker writes to disjoint cache lines of the output.
 func parallelRows(rows int, fn func(i0, i1 int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
-	}
-	if workers <= 1 || rows < 2*matmulRowChunk {
-		fn(0, rows)
-		return
-	}
-	chunk := (rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		i0 := w * chunk
-		if i0 >= rows {
-			break
-		}
-		i1 := min(i0+chunk, rows)
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			fn(i0, i1)
-		}(i0, i1)
-	}
-	wg.Wait()
+	parallel.For(rows, matmulRowChunk, fn)
 }

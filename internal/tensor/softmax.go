@@ -1,12 +1,27 @@
 package tensor
 
-import "math"
+import (
+	"math"
+
+	"distgnn/internal/parallel"
+)
+
+// softmaxRowChunk keeps per-task work large enough that the pooled fan-out
+// pays for itself — softmax rows are short compared to matmul row strips.
+const softmaxRowChunk = 64
 
 // SoftmaxRows computes out[i] = softmax(m[i]) row-wise with the usual
-// max-subtraction for numerical stability. out may alias m.
+// max-subtraction for numerical stability. out may alias m. Rows are
+// independent, so the loop is statically chunked on the shared worker pool.
 func SoftmaxRows(out, m *Matrix) {
 	m.mustSameShape(out)
-	for i := 0; i < m.Rows; i++ {
+	parallel.For(m.Rows, softmaxRowChunk, func(i0, i1 int) {
+		softmaxRowRange(out, m, i0, i1)
+	})
+}
+
+func softmaxRowRange(out, m *Matrix, i0, i1 int) {
+	for i := i0; i < i1; i++ {
 		src := m.Row(i)
 		dst := out.Row(i)
 		maxV := src[0]

@@ -7,6 +7,7 @@ import (
 	"distgnn/internal/datasets"
 	"distgnn/internal/model"
 	"distgnn/internal/nn"
+	"distgnn/internal/parallel"
 	"distgnn/internal/partition"
 	"distgnn/internal/quant"
 	"distgnn/internal/tensor"
@@ -52,6 +53,9 @@ type DistConfig struct {
 	// FP16. Low-precision formats halve the network volume; values are
 	// rounded through the format so the accuracy impact is real.
 	CommPrecision quant.Precision
+	// Workers sizes the process-wide kernel worker pool shared by all
+	// simulated ranks — the OMP_NUM_THREADS knob. 0 keeps the current pool.
+	Workers int
 }
 
 // DistEpochStat is one epoch of simulated-cluster timing plus the training
@@ -112,6 +116,11 @@ func (r *DistResult) AvgLATRAT(lo, hi int) (lat, rat float64) {
 	return lat / n, rat / n
 }
 
+// gradScratch recycles the flattened-gradient buffers used for the
+// per-epoch parameter AllReduce — one full model's worth per rank per epoch
+// before this arena existed.
+var gradScratch parallel.Scratch[float32]
+
 // rankCtx is the per-rank training state.
 type rankCtx struct {
 	id     int
@@ -159,6 +168,9 @@ type delivery struct {
 func Distributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error) {
 	if cfg.NumPartitions < 1 {
 		return nil, fmt.Errorf("train: NumPartitions must be ≥1, got %d", cfg.NumPartitions)
+	}
+	if cfg.Workers > 0 {
+		parallel.Configure(parallel.Config{Workers: cfg.Workers})
 	}
 	if cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("train: Epochs must be positive")
@@ -253,10 +265,13 @@ func Distributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error) {
 			}
 
 			// Parameter gradient AllReduce (sum of per-rank global-mean
-			// shares = global mean) keeps all model replicas identical.
-			gbuf := nn.FlattenParams(params, true)
+			// shares = global mean) keeps all model replicas identical. The
+			// flattened buffer is recycled across epochs and ranks.
+			gbuf := gradScratch.Get(nn.TotalElements(params))
+			nn.FlattenParamsInto(gbuf, params, true)
 			world.AllReduceSum(rank, gbuf)
 			nn.UnflattenParams(params, gbuf, true)
+			gradScratch.Put(gbuf)
 			r.optStep()
 		})
 

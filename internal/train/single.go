@@ -12,6 +12,7 @@ import (
 	"distgnn/internal/datasets"
 	"distgnn/internal/model"
 	"distgnn/internal/nn"
+	"distgnn/internal/parallel"
 )
 
 // SingleConfig configures single-socket full-batch training.
@@ -21,6 +22,10 @@ type SingleConfig struct {
 	LR          float64
 	WeightDecay float64
 	UseAdam     bool
+	// Workers sizes the process-wide kernel worker pool for this run — the
+	// OMP_NUM_THREADS knob of the paper's experiments. 0 keeps the current
+	// pool (GOMAXPROCS by default).
+	Workers int
 }
 
 // EpochStat records one epoch of single-socket training: the loss, total
@@ -63,6 +68,9 @@ func (r *SingleResult) AvgEpoch(lo, hi int) (total, agg time.Duration) {
 func SingleSocket(ds *datasets.Dataset, cfg SingleConfig) (*SingleResult, error) {
 	if cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("train: Epochs must be positive, got %d", cfg.Epochs)
+	}
+	if cfg.Workers > 0 {
+		parallel.Configure(parallel.Config{Workers: cfg.Workers})
 	}
 	mc := cfg.Model
 	if mc.InDim == 0 {
