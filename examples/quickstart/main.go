@@ -1,9 +1,11 @@
 // Quickstart: generate a benchmark graph, train GraphSAGE full-batch on a
 // single socket with the optimized aggregation primitive, and report
-// accuracy — the five-minute tour of the library.
+// accuracy — the five-minute tour of the library. -scale and -epochs
+// shrink the run for smoke testing.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,8 +15,13 @@ import (
 )
 
 func main() {
-	// 1. Load a synthetic stand-in for the Reddit dataset at 1/4 scale.
-	ds, err := datasets.Load("reddit-sim", 0.25)
+	scale := flag.Float64("scale", 0.25, "dataset scale factor")
+	epochs := flag.Int("epochs", 30, "training epochs")
+	flag.Parse()
+
+	// 1. Load a synthetic stand-in for the Reddit dataset (1/4 scale by
+	//    default).
+	ds, err := datasets.Load("reddit-sim", *scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,7 +32,7 @@ func main() {
 	//    hidden units, GCN aggregation, full batch.
 	res, err := train.SingleSocket(ds, train.SingleConfig{
 		Model:  model.Config{Hidden: 16, NumLayers: 2, Seed: 1},
-		Epochs: 30, LR: 0.02, WeightDecay: 5e-4, UseAdam: true,
+		Epochs: *epochs, LR: 0.02, WeightDecay: 5e-4, UseAdam: true,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -27,6 +27,9 @@ type CostModel struct {
 
 	mu    sync.Mutex
 	simNs []int64 // accumulated simulated time per rank, nanoseconds
+	// injNs[rank] is when the rank's network injection port frees up:
+	// nonblocking transfers posted back to back serialize on it.
+	injNs []int64
 }
 
 // DefaultCostModel approximates one Xeon socket's effective share of an HDR
@@ -40,6 +43,7 @@ func DefaultCostModel(numRanks int) *CostModel {
 		NetBandwidth: 2.5e9,
 		MemBandwidth: 80e9,
 		simNs:        make([]int64, numRanks),
+		injNs:        make([]int64, numRanks),
 	}
 }
 
@@ -82,8 +86,104 @@ func (c *CostModel) ChargeAllReduce(rank int, bytes, k int) float64 {
 
 func (c *CostModel) add(rank int, seconds float64) {
 	c.mu.Lock()
+	c.ensure(rank)
 	c.simNs[rank] += int64(seconds * 1e9)
 	c.mu.Unlock()
+}
+
+// ensure grows the per-rank ledgers to cover rank. Caller holds c.mu.
+func (c *CostModel) ensure(rank int) {
+	for len(c.simNs) <= rank {
+		c.simNs = append(c.simNs, 0)
+	}
+	for len(c.injNs) <= rank {
+		c.injNs = append(c.injNs, 0)
+	}
+}
+
+// ChargeCompute advances a rank's simulated clock by compute seconds — the
+// time nonblocking transfers posted earlier can hide behind. The overlapped
+// cd-rs trainer charges each layer's aggregation and dense work here so the
+// clock races the in-flight transfers.
+func (c *CostModel) ChargeCompute(rank int, seconds float64) {
+	c.add(rank, seconds)
+}
+
+// PostXfer books a nonblocking transfer of the given wire volume posted by
+// rank at its current simulated clock. Transfers serialize on the rank's
+// injection port; each costs α + bytes/β on the fabric. The poster's clock
+// does NOT advance — the transfer proceeds concurrently with whatever
+// compute is charged next. Returns the simulated completion time and the
+// full transfer duration, both in nanoseconds.
+func (c *CostModel) PostXfer(rank, bytes int) (readyNs, durNs int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure(rank)
+	durNs = int64((c.NetLatency + float64(bytes)/c.NetBandwidth) * 1e9)
+	start := c.simNs[rank]
+	if c.injNs[rank] > start {
+		start = c.injNs[rank]
+	}
+	readyNs = start + durNs
+	c.injNs[rank] = readyNs
+	return readyNs, durNs
+}
+
+// clockNs reads a rank's current simulated clock.
+func (c *CostModel) clockNs(rank int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure(rank)
+	return c.simNs[rank]
+}
+
+// WaitXfer charges rank only the un-hidden remainder of a transfer that
+// completes at readyNs: if the rank's compute already advanced its clock
+// past the completion time the wait is free, otherwise the clock jumps to
+// readyNs and the exposed seconds are returned — the §6.3 accounting where
+// overlapped communication costs only what compute failed to cover.
+func (c *CostModel) WaitXfer(rank int, readyNs int64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure(rank)
+	exposedNs := readyNs - c.simNs[rank]
+	if exposedNs <= 0 {
+		return 0
+	}
+	c.simNs[rank] = readyNs
+	return float64(exposedNs) / 1e9
+}
+
+// SyncClocks aligns every rank's clock to the slowest one — the simulated
+// counterpart of a bulk-synchronous barrier (the per-epoch gradient
+// AllReduce). Without it, per-rank clocks would drift apart without bound
+// as partitions with unequal work accumulate unequal compute, and the
+// cross-rank ready-vs-clock comparison in WaitXfer would charge phantom
+// exposure for skew the epoch's max-across-ranks timing already covers.
+func (c *CostModel) SyncClocks() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m int64
+	for _, v := range c.simNs {
+		if v > m {
+			m = v
+		}
+	}
+	for i := range c.simNs {
+		c.simNs[i] = m
+	}
+}
+
+// WaitXferForced charges the full transfer duration regardless of how much
+// compute elapsed since the post — overlap artificially forced synchronous.
+// The conformance harness uses it to show cd-rs with hiding disabled costs
+// what cd-r does while computing bit-identical parameters.
+func (c *CostModel) WaitXferForced(rank int, durNs int64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure(rank)
+	c.simNs[rank] += durNs
+	return float64(durNs) / 1e9
 }
 
 // SimTime returns the simulated time accumulated for a rank.
@@ -107,11 +207,14 @@ func (c *CostModel) MaxSimTime() time.Duration {
 	return time.Duration(m)
 }
 
-// Reset zeroes all per-rank accounts.
+// Reset zeroes all per-rank accounts, including pending injection ports.
 func (c *CostModel) Reset() {
 	c.mu.Lock()
 	for i := range c.simNs {
 		c.simNs[i] = 0
+	}
+	for i := range c.injNs {
+		c.injNs[i] = 0
 	}
 	c.mu.Unlock()
 }

@@ -1,0 +1,248 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"distgnn/internal/quant"
+)
+
+// p2p.go is the nonblocking point-to-point layer: MPI-style Isend/Irecv
+// returning Request handles with Test/Wait/WaitAll semantics over the same
+// in-process fabric the collectives use. Payloads are copied (and, for
+// 16-bit wire formats, packed) at post time, so a sender's buffer is
+// immediately reusable and the transfer proceeds "in the background"; the
+// α–β cost of the transfer accrues on the simulated clock concurrently with
+// whatever compute the poster charges, and only the un-hidden remainder is
+// charged when the receiver Waits — the accounting that lets cd-rs hide
+// network time behind compute (§6.3).
+
+// Defined misuse errors: the Request lifecycle is post → (Test)* → Wait,
+// exactly once each side.
+var (
+	// ErrNotPosted is returned by Test/Wait on a zero-value Request that was
+	// never produced by Isend/Irecv.
+	ErrNotPosted = errors.New("comm: request was never posted")
+	// ErrAlreadyWaited is returned by a second Wait (or a Test after Wait) on
+	// a completed request.
+	ErrAlreadyWaited = errors.New("comm: request already completed by Wait")
+)
+
+// msgKey addresses one directed (sender, receiver, tag) channel. Messages
+// with the same key are matched to receives in FIFO post order.
+type msgKey struct{ src, dst, tag int }
+
+// message is one in-flight payload.
+type message struct {
+	data    []float32 // fp32 payload (nil when packed)
+	wire    []uint16  // 16-bit packed payload (nil for fp32)
+	prec    quant.Precision
+	readyNs int64 // simulated fabric-completion time (sender clock base)
+	durNs   int64 // full α+bytes/β transfer duration
+}
+
+// mailbox holds every rank's pending messages, keyed by (src, dst, tag).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][]*message
+}
+
+func (mb *mailbox) init() {
+	mb.cond = sync.NewCond(&mb.mu)
+	mb.queues = make(map[msgKey][]*message)
+}
+
+// Request is a handle on one nonblocking operation. The zero value is not
+// posted; only Isend/Irecv produce live requests.
+type Request struct {
+	w       *World
+	recv    bool
+	rank    int // the rank charged for exposed wait time (receiver side)
+	key     msgKey
+	done    bool
+	data    []float32 // completed receive payload
+	exposed float64   // un-hidden network seconds charged at Wait
+	durNs   int64     // send side: full transfer duration
+}
+
+// ConfigureAsync attaches the α–β cost model used to account nonblocking
+// transfers (nil disables accounting) and sets the overlap mode: with
+// forceSync, every Wait charges the full α+bytes/β network term as if the
+// transfer ran synchronously — the conformance knob that turns cd-rs into
+// cd-r's cost shape without changing a single arithmetic operation.
+func (w *World) ConfigureAsync(cm *CostModel, forceSync bool) {
+	w.asyncCost = cm
+	w.forceSync = forceSync
+}
+
+func (w *World) checkRank(name string, r int) {
+	if r < 0 || r >= w.N {
+		panic(fmt.Sprintf("comm: %s rank %d outside world of %d", name, r, w.N))
+	}
+}
+
+// Isend posts a nonblocking send of data from rank `from` to rank `to`.
+// The payload is copied at post time, so the caller's buffer is immediately
+// reusable; the matching Irecv observes the values as posted. The returned
+// request completes trivially (buffered-send semantics) — Wait it to keep
+// the post/wait pairing uniform.
+func (w *World) Isend(from, to, tag int, data []float32) *Request {
+	return w.post(from, to, tag, data, quant.FP32)
+}
+
+// IsendPacked is Isend with the payload packed into the 16-bit wire format
+// at post time — compression rides the request path, off the critical path
+// of the compute the transfer overlaps. The receiver's Wait unpacks, so it
+// observes exactly RoundSlice(data). FP32 falls back to Isend.
+func (w *World) IsendPacked(from, to, tag int, data []float32, p quant.Precision) *Request {
+	return w.post(from, to, tag, data, p)
+}
+
+func (w *World) post(from, to, tag int, data []float32, p quant.Precision) *Request {
+	w.checkRank("Isend source", from)
+	w.checkRank("Isend destination", to)
+	m := &message{prec: p}
+	if p == quant.FP32 {
+		m.data = append([]float32(nil), data...)
+	} else {
+		m.wire = p.Pack(make([]uint16, 0, len(data)), data)
+	}
+	if w.asyncCost != nil {
+		m.readyNs, m.durNs = w.asyncCost.PostXfer(from, len(data)*p.Bytes())
+	}
+	key := msgKey{src: from, dst: to, tag: tag}
+	w.boxes.mu.Lock()
+	w.boxes.queues[key] = append(w.boxes.queues[key], m)
+	w.boxes.mu.Unlock()
+	w.boxes.cond.Broadcast()
+	return &Request{w: w, rank: from, key: key, done: false, durNs: m.durNs}
+}
+
+// Irecv posts a nonblocking receive on `rank` for the next message rank
+// `from` sends with this tag. The payload is delivered by Wait.
+func (w *World) Irecv(rank, from, tag int) *Request {
+	w.checkRank("Irecv rank", rank)
+	w.checkRank("Irecv source", from)
+	return &Request{w: w, recv: true, rank: rank,
+		key: msgKey{src: from, dst: rank, tag: tag}}
+}
+
+// Test reports whether Wait would complete without blocking. Sends are
+// always complete (the payload was copied at post time); a receive is
+// complete once the matching message has been posted. Test never consumes
+// the message.
+func (r *Request) Test() (bool, error) {
+	if r.w == nil {
+		return false, ErrNotPosted
+	}
+	if r.done {
+		return false, ErrAlreadyWaited
+	}
+	if !r.recv {
+		return true, nil
+	}
+	r.w.boxes.mu.Lock()
+	defer r.w.boxes.mu.Unlock()
+	return len(r.w.boxes.queues[r.key]) > 0, nil
+}
+
+// TestHidden reports whether Wait would complete immediately AND charge
+// zero exposed network time at this rank's current simulated clock — i.e.
+// the transfer is both physically delivered and fully hidden behind the
+// compute charged so far. Layer-boundary drains use it so the set of
+// messages reeled in early is a function of simulated time only, keeping
+// runs deterministic regardless of goroutine scheduling. Always false
+// under forceSync, where nothing counts as hidden.
+func (r *Request) TestHidden() (bool, error) {
+	if r.w == nil {
+		return false, ErrNotPosted
+	}
+	if r.done {
+		return false, ErrAlreadyWaited
+	}
+	if !r.recv {
+		return true, nil
+	}
+	mb := &r.w.boxes
+	mb.mu.Lock()
+	var m *message
+	if q := mb.queues[r.key]; len(q) > 0 {
+		m = q[0]
+	}
+	mb.mu.Unlock()
+	if m == nil {
+		return false, nil
+	}
+	cm := r.w.asyncCost
+	if cm == nil {
+		return true, nil
+	}
+	if r.w.forceSync {
+		return false, nil
+	}
+	return cm.clockNs(r.rank) >= m.readyNs, nil
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload (nil for sends). For receives with a cost model attached, Wait
+// charges this rank only the part of the α+bytes/β transfer that the
+// rank's compute since the post did not hide — or the full term under
+// forceSync. A request may be waited exactly once.
+func (r *Request) Wait() ([]float32, error) {
+	if r.w == nil {
+		return nil, ErrNotPosted
+	}
+	if r.done {
+		return nil, ErrAlreadyWaited
+	}
+	r.done = true
+	if !r.recv {
+		return nil, nil
+	}
+	mb := &r.w.boxes
+	mb.mu.Lock()
+	for len(mb.queues[r.key]) == 0 {
+		mb.cond.Wait()
+	}
+	q := mb.queues[r.key]
+	m := q[0]
+	if len(q) == 1 {
+		delete(mb.queues, r.key)
+	} else {
+		mb.queues[r.key] = q[1:]
+	}
+	mb.mu.Unlock()
+
+	if m.prec == quant.FP32 {
+		r.data = m.data
+	} else {
+		r.data = m.prec.Unpack(make([]float32, 0, len(m.wire)), m.wire)
+	}
+	if cm := r.w.asyncCost; cm != nil {
+		if r.w.forceSync {
+			r.exposed = cm.WaitXferForced(r.rank, m.durNs)
+		} else {
+			r.exposed = cm.WaitXfer(r.rank, m.readyNs)
+		}
+	}
+	return r.data, nil
+}
+
+// Exposed returns the un-hidden network seconds charged when this request
+// was waited (0 before Wait, for sends, or without a cost model).
+func (r *Request) Exposed() float64 { return r.exposed }
+
+// WaitAll waits every request in order and returns the first error
+// encountered; it still drains the remaining requests so no message is
+// left stranded in the mailbox.
+func (w *World) WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,265 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"distgnn/internal/quant"
+)
+
+func TestIsendIrecvDeliversPayload(t *testing.T) {
+	w := NewWorld(2)
+	payload := []float32{1, 2, 3.5, -4}
+	send := w.Isend(0, 1, 7, payload)
+	// Buffered-send semantics: the caller's slice is reusable immediately.
+	payload[0] = 99
+
+	recv := w.Irecv(1, 0, 7)
+	if ok, err := recv.Test(); err != nil || !ok {
+		t.Fatalf("posted message must test complete: %v %v", ok, err)
+	}
+	got, err := recv.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 3.5, -4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("payload[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := send.Wait(); err != nil {
+		t.Fatalf("send Wait: %v", err)
+	}
+}
+
+func TestIrecvTestReportsPending(t *testing.T) {
+	w := NewWorld(2)
+	recv := w.Irecv(1, 0, 3)
+	if ok, err := recv.Test(); err != nil || ok {
+		t.Fatalf("no message posted: Test = %v, %v", ok, err)
+	}
+	w.Isend(0, 1, 3, []float32{1})
+	if ok, err := recv.Test(); err != nil || !ok {
+		t.Fatalf("message posted: Test = %v, %v", ok, err)
+	}
+	if _, err := recv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestMisuseHasDefinedErrors(t *testing.T) {
+	// Wait before post: the zero-value Request was never produced by
+	// Isend/Irecv.
+	var zero Request
+	if _, err := zero.Wait(); !errors.Is(err, ErrNotPosted) {
+		t.Fatalf("Wait on unposted request: %v, want ErrNotPosted", err)
+	}
+	if _, err := zero.Test(); !errors.Is(err, ErrNotPosted) {
+		t.Fatalf("Test on unposted request: %v, want ErrNotPosted", err)
+	}
+	if _, err := zero.TestHidden(); !errors.Is(err, ErrNotPosted) {
+		t.Fatalf("TestHidden on unposted request: %v, want ErrNotPosted", err)
+	}
+
+	// Double Wait on both sides of a completed exchange.
+	w := NewWorld(2)
+	send := w.Isend(0, 1, 1, []float32{1})
+	recv := w.Irecv(1, 0, 1)
+	for _, r := range []*Request{send, recv} {
+		if _, err := r.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Wait(); !errors.Is(err, ErrAlreadyWaited) {
+			t.Fatalf("double Wait: %v, want ErrAlreadyWaited", err)
+		}
+		if _, err := r.Test(); !errors.Is(err, ErrAlreadyWaited) {
+			t.Fatalf("Test after Wait: %v, want ErrAlreadyWaited", err)
+		}
+	}
+}
+
+func TestWaitAllReturnsFirstErrorButDrains(t *testing.T) {
+	w := NewWorld(2)
+	w.Isend(0, 1, 1, []float32{1})
+	w.Isend(0, 1, 2, []float32{2})
+	good1 := w.Irecv(1, 0, 1)
+	good2 := w.Irecv(1, 0, 2)
+	var bad Request
+	if err := w.WaitAll(good1, &bad, good2); !errors.Is(err, ErrNotPosted) {
+		t.Fatalf("WaitAll: %v, want ErrNotPosted", err)
+	}
+	// Both good requests must have been drained despite the error.
+	for _, r := range []*Request{good1, good2} {
+		if _, err := r.Wait(); !errors.Is(err, ErrAlreadyWaited) {
+			t.Fatalf("request not drained by WaitAll: %v", err)
+		}
+	}
+}
+
+func TestSameKeyMessagesDeliverFIFO(t *testing.T) {
+	w := NewWorld(2)
+	const n = 16
+	for i := 0; i < n; i++ {
+		w.Isend(0, 1, 5, []float32{float32(i)})
+	}
+	for i := 0; i < n; i++ {
+		got, err := w.Irecv(1, 0, 5).Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != float32(i) {
+			t.Fatalf("message %d out of order: got %v", i, got[0])
+		}
+	}
+}
+
+func TestIsendPackedMatchesRoundSlice(t *testing.T) {
+	for _, p := range []quant.Precision{quant.BF16, quant.FP16} {
+		w := NewWorld(2)
+		src := []float32{1.0001, -2.5, 3.14159, 0, 65000, 6e-8,
+			float32(math.Inf(1)), float32(math.NaN())}
+		w.IsendPacked(0, 1, 1, src, p)
+		got, err := w.Irecv(1, 0, 1).Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.RoundSlice(append([]float32(nil), src...))
+		for i := range want {
+			wNaN := math.IsNaN(float64(want[i]))
+			gNaN := math.IsNaN(float64(got[i]))
+			if wNaN != gNaN || (!wNaN && got[i] != want[i]) {
+				t.Fatalf("%v: element %d: packed wire delivered %v, RoundSlice %v",
+					p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentIsendIrecvWaitAll hammers the mailbox from every rank at
+// once — the workload the race detector checks (race_on/race_off pattern:
+// rounds shrink under instrumentation).
+func TestConcurrentIsendIrecvWaitAll(t *testing.T) {
+	rounds := 40
+	if raceEnabled {
+		rounds = 10
+	}
+	for _, n := range []int{2, 4, 8} {
+		w := NewWorld(n)
+		w.Run(func(rank int) {
+			for round := 0; round < rounds; round++ {
+				// Post all sends first, then all receives, then WaitAll —
+				// no rank ever blocks another's posts.
+				for peer := 0; peer < n; peer++ {
+					w.Isend(rank, peer, round, []float32{float32(rank), float32(round)})
+				}
+				reqs := make([]*Request, n)
+				for peer := 0; peer < n; peer++ {
+					reqs[peer] = w.Irecv(rank, peer, round)
+				}
+				if err := w.WaitAll(reqs...); err != nil {
+					panic(err)
+				}
+				for peer, r := range reqs {
+					data := r.data
+					if len(data) != 2 || data[0] != float32(peer) || data[1] != float32(round) {
+						panic(fmt.Sprintf("rank %d round %d: bad payload from %d: %v",
+							rank, round, peer, data))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPostXferOverlapAccounting(t *testing.T) {
+	cm := &CostModel{NetLatency: 1e-6, NetBandwidth: 1e9, MemBandwidth: 1e9}
+	// 1000 bytes: 1 µs latency + 1 µs serialization = 2 µs.
+	ready, dur := cm.PostXfer(0, 1000)
+	if dur != 2000 || ready != 2000 {
+		t.Fatalf("transfer: ready %d dur %d, want 2000/2000", ready, dur)
+	}
+	// Back-to-back posts serialize on the injection port.
+	ready2, _ := cm.PostXfer(0, 1000)
+	if ready2 != 4000 {
+		t.Fatalf("second post must queue behind the first: ready %d, want 4000", ready2)
+	}
+
+	// No compute: the full remainder is exposed at Wait.
+	if got := cm.WaitXfer(0, ready); got != 2e-6 {
+		t.Fatalf("exposed %v, want 2µs", got)
+	}
+	// The wait advanced the clock to the completion time, so the second
+	// transfer has 2 µs left.
+	if got := cm.WaitXfer(0, ready2); got != 2e-6 {
+		t.Fatalf("second exposed %v, want 2µs", got)
+	}
+
+	// Compute past the completion time hides a transfer entirely.
+	ready3, _ := cm.PostXfer(0, 1000)
+	cm.ChargeCompute(0, 1e-3)
+	if got := cm.WaitXfer(0, ready3); got != 0 {
+		t.Fatalf("hidden transfer exposed %v, want 0", got)
+	}
+
+	// Partial overlap: compute covers half, the rest is exposed.
+	cm2 := &CostModel{NetLatency: 0, NetBandwidth: 1e9, MemBandwidth: 1e9}
+	ready4, _ := cm2.PostXfer(0, 2000) // 2 µs
+	cm2.ChargeCompute(0, 1e-6)
+	if got := cm2.WaitXfer(0, ready4); got != 1e-6 {
+		t.Fatalf("partial overlap exposed %v, want 1µs", got)
+	}
+
+	// Forced sync charges the full duration no matter the compute.
+	cm3 := &CostModel{NetLatency: 1e-6, NetBandwidth: 1e9, MemBandwidth: 1e9}
+	_, dur3 := cm3.PostXfer(0, 1000)
+	cm3.ChargeCompute(0, 1)
+	if got := cm3.WaitXferForced(0, dur3); got != 2e-6 {
+		t.Fatalf("forced sync exposed %v, want full 2µs", got)
+	}
+}
+
+func TestTestHiddenFollowsSimulatedClock(t *testing.T) {
+	w := NewWorld(2)
+	cm := &CostModel{NetLatency: 1e-6, NetBandwidth: 1e9, MemBandwidth: 1e9}
+	w.ConfigureAsync(cm, false)
+
+	w.Isend(0, 1, 1, make([]float32, 250)) // 1000 bytes → 2 µs
+	recv := w.Irecv(1, 0, 1)
+	// Physically present but simulated-in-flight: Test true, TestHidden false.
+	if ok, _ := recv.Test(); !ok {
+		t.Fatal("message must be physically present")
+	}
+	if ok, _ := recv.TestHidden(); ok {
+		t.Fatal("transfer cannot be hidden with no compute charged")
+	}
+	cm.ChargeCompute(1, 1e-5)
+	if ok, _ := recv.TestHidden(); !ok {
+		t.Fatal("transfer must be hidden after 10µs of compute")
+	}
+	if _, err := recv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if recv.Exposed() != 0 {
+		t.Fatalf("hidden transfer exposed %v", recv.Exposed())
+	}
+
+	// Under forceSync nothing is ever hidden and Wait charges everything.
+	w2 := NewWorld(2)
+	cm2 := &CostModel{NetLatency: 1e-6, NetBandwidth: 1e9, MemBandwidth: 1e9}
+	w2.ConfigureAsync(cm2, true)
+	w2.Isend(0, 1, 1, make([]float32, 250))
+	recv2 := w2.Irecv(1, 0, 1)
+	cm2.ChargeCompute(1, 1)
+	if ok, _ := recv2.TestHidden(); ok {
+		t.Fatal("forceSync must never report hidden")
+	}
+	if _, err := recv2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if recv2.Exposed() != 2e-6 {
+		t.Fatalf("forceSync exposed %v, want full 2µs", recv2.Exposed())
+	}
+}

@@ -29,6 +29,11 @@ type World struct {
 	// collective scratch: per-rank contribution slots.
 	slots [][]float32
 	mats  [][][]float32
+
+	// nonblocking point-to-point state (p2p.go).
+	boxes     mailbox
+	asyncCost *CostModel
+	forceSync bool
 }
 
 // NewWorld creates a communicator over n ranks.
@@ -38,6 +43,7 @@ func NewWorld(n int) *World {
 	}
 	w := &World{N: n, slots: make([][]float32, n), mats: make([][][]float32, n)}
 	w.cond = sync.NewCond(&w.mu)
+	w.boxes.init()
 	return w
 }
 

@@ -1,0 +1,174 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// halfULP returns the round-to-nearest error bound for a value rounded to a
+// format with the given explicit mantissa bits and minimum normal exponent:
+// half a ULP at the value's binade for normals, half the subnormal step
+// below the normal range.
+func halfULP(v float64, mantBits, minExp int) float64 {
+	e := math.Ilogb(v)
+	if e < minExp {
+		e = minExp
+	}
+	return math.Ldexp(1, e-mantBits-1)
+}
+
+// bf16 has 7 explicit mantissa bits and float32's exponent range; fp16 has
+// 10 and normals down to 2^-14.
+const (
+	bf16Mant, bf16MinExp = 7, -126
+	fp16Mant, fp16MinExp = 10, -14
+	bf16Max              = 3.3895313892515355e38 // 2^127 × (2 − 2⁻⁷)
+	fp16Max              = 65504
+)
+
+func checkRoundTrip(t *testing.T, bits uint32, enc func(float32) uint16,
+	dec func(uint16) float32, mantBits, minExp int, max float64) {
+	t.Helper()
+	v := math.Float32frombits(bits)
+	h := enc(v)
+	got := dec(h)
+	switch {
+	case math.IsNaN(float64(v)):
+		if !math.IsNaN(float64(got)) {
+			t.Fatalf("NaN %#x must round-trip to NaN, got %v", bits, got)
+		}
+		return
+	case math.IsInf(float64(v), 0):
+		if got != v {
+			t.Fatalf("Inf %v must round-trip exactly, got %v", v, got)
+		}
+		return
+	}
+	if math.IsNaN(float64(got)) {
+		t.Fatalf("finite %v round-tripped to NaN", v)
+	}
+	if math.Signbit(float64(got)) != math.Signbit(float64(v)) {
+		t.Fatalf("%v: sign flipped to %v", v, got)
+	}
+	if math.IsInf(float64(got), 0) {
+		// Overflow to Inf is only legal above the format's max finite value.
+		if math.Abs(float64(v)) <= max {
+			t.Fatalf("%v within range overflowed to %v", v, got)
+		}
+		return
+	}
+	// Round-to-nearest: error bounded by half a ULP of the target format
+	// (absolute half-step in the subnormal range).
+	if err := math.Abs(float64(got) - float64(v)); err > halfULP(float64(v), mantBits, minExp) {
+		t.Fatalf("%v → %v: error %v exceeds half ULP %v",
+			v, got, err, halfULP(float64(v), mantBits, minExp))
+	}
+	// Decoded values are exactly representable: re-encoding must be stable.
+	if h2 := enc(got); dec(h2) != got {
+		t.Fatalf("%v: decode∘encode not idempotent (%v → %v)", v, got, dec(h2))
+	}
+}
+
+func fuzzSeeds(f *testing.F) {
+	for _, bits := range []uint32{
+		0, 0x80000000, // ±0
+		math.Float32bits(1), math.Float32bits(-1.5), math.Float32bits(3.14159),
+		math.Float32bits(65504), math.Float32bits(65520), // fp16 max / first overflow
+		math.Float32bits(6.1e-5), math.Float32bits(5.96e-8), // fp16 subnormals
+		math.Float32bits(1e-40), // float32 subnormal
+		0x7F800000, 0xFF800000,  // ±Inf
+		0x7FC00001, 0x7F800001, // quiet/signalling NaN
+		0x7F7FFFFF, // MaxFloat32
+		math.Float32bits(float32(math.Pi) * 1e30), // large normal
+	} {
+		f.Add(bits)
+	}
+}
+
+func FuzzBF16RoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		checkRoundTrip(t, bits, BF16Encode, BF16Decode, bf16Mant, bf16MinExp, bf16Max)
+	})
+}
+
+func FuzzFP16RoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		checkRoundTrip(t, bits, FP16Encode, FP16Decode, fp16Mant, fp16MinExp, fp16Max)
+	})
+}
+
+// TestRoundTripULPBoundRandomSweep drives the same half-ULP invariant over
+// a broad random sweep of raw bit patterns (uniform over all float32s, so
+// NaNs, infinities and subnormals all appear), independent of the fuzzer.
+func TestRoundTripULPBoundRandomSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		bits := rng.Uint32()
+		checkRoundTrip(t, bits, BF16Encode, BF16Decode, bf16Mant, bf16MinExp, bf16Max)
+		checkRoundTrip(t, bits, FP16Encode, FP16Decode, fp16Mant, fp16MinExp, fp16Max)
+	}
+}
+
+// TestPackUnpackInverseOnRandomBuffers: Unpack∘Pack must equal RoundSlice
+// bitwise on arbitrary buffers — the property that lets the nonblocking
+// request path carry 16-bit wire payloads while the blocking path rounds in
+// place, with both observing identical values.
+func TestPackUnpackInverseOnRandomBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range []Precision{BF16, FP16} {
+		for trial := 0; trial < 50; trial++ {
+			n := rng.Intn(500)
+			src := make([]float32, n)
+			for i := range src {
+				switch rng.Intn(10) {
+				case 0:
+					src[i] = float32(math.Inf(1 - 2*rng.Intn(2)))
+				case 1:
+					src[i] = float32(math.NaN())
+				case 2:
+					src[i] = math.Float32frombits(rng.Uint32()) // arbitrary bits
+				case 3:
+					src[i] = float32(math.Ldexp(rng.Float64(), -140)) // subnormal
+				default:
+					src[i] = float32(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(10)-5)))
+				}
+			}
+			wire := p.Pack(nil, src)
+			if len(wire) != n {
+				t.Fatalf("%v: packed %d words from %d elements", p, len(wire), n)
+			}
+			got := p.Unpack(nil, wire)
+			want := p.RoundSlice(append([]float32(nil), src...))
+			for i := range want {
+				gBits := math.Float32bits(got[i])
+				wBits := math.Float32bits(want[i])
+				wNaN := math.IsNaN(float64(want[i]))
+				if wNaN != math.IsNaN(float64(got[i])) || (!wNaN && gBits != wBits) {
+					t.Fatalf("%v: element %d: unpack %v (%#x) vs RoundSlice %v (%#x)",
+						p, i, got[i], gBits, want[i], wBits)
+				}
+			}
+		}
+	}
+	// FP32 has no packed form: Pack signals it with nil.
+	if FP32.Pack(nil, []float32{1, 2}) != nil {
+		t.Fatal("FP32 Pack must return nil")
+	}
+}
+
+// TestPackAppendsToDst pins the append contract both directions use to
+// reuse staging buffers.
+func TestPackAppendsToDst(t *testing.T) {
+	wire := BF16.Pack(make([]uint16, 0, 8), []float32{1, 2})
+	wire = BF16.Pack(wire, []float32{3})
+	if len(wire) != 3 {
+		t.Fatalf("packed length %d, want 3", len(wire))
+	}
+	vals := BF16.Unpack(nil, wire)
+	if vals[0] != 1 || vals[1] != 2 || vals[2] != 3 {
+		t.Fatalf("append semantics broken: %v", vals)
+	}
+}

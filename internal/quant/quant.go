@@ -59,6 +59,46 @@ func (p Precision) RoundSlice(buf []float32) []float32 {
 	return buf
 }
 
+// Pack encodes src into 16-bit wire words appended to dst. For FP32 it
+// returns nil: the wire carries the raw float32 buffer and no packing step
+// exists. The nonblocking comm request path packs at post time and unpacks
+// at completion, keeping the conversion off the sender's critical path.
+func (p Precision) Pack(dst []uint16, src []float32) []uint16 {
+	switch p {
+	case BF16:
+		for _, v := range src {
+			dst = append(dst, BF16Encode(v))
+		}
+	case FP16:
+		for _, v := range src {
+			dst = append(dst, FP16Encode(v))
+		}
+	default:
+		return nil
+	}
+	return dst
+}
+
+// Unpack decodes wire words appended to dst — the exact inverse of the
+// decode half of Pack: Unpack(nil, Pack(nil, x))[i] is bitwise equal to
+// RoundSlice(x)[i] for every finite and non-finite input. Panics for FP32,
+// which has no packed representation.
+func (p Precision) Unpack(dst []float32, wire []uint16) []float32 {
+	switch p {
+	case BF16:
+		for _, h := range wire {
+			dst = append(dst, BF16Decode(h))
+		}
+	case FP16:
+		for _, h := range wire {
+			dst = append(dst, FP16Decode(h))
+		}
+	default:
+		panic("quant: FP32 has no packed wire format")
+	}
+	return dst
+}
+
 // BF16Encode rounds a float32 to bfloat16 (round-to-nearest-even).
 func BF16Encode(v float32) uint16 {
 	bits := math.Float32bits(v)
@@ -100,11 +140,13 @@ func FP16Encode(v float32) uint16 {
 		}
 		e := uint32(exp+15)<<10 + m // mantissa carry may bump the exponent
 		return sign | uint16(e)
-	case exp >= -24: // subnormal range
+	case exp >= -25: // subnormal range
 		full := mant | 0x800000 // implicit leading 1
 		// Subnormal mantissa m satisfies value = m × 2^−24, i.e.
 		// m = 1.mant × 2^(exp+24) = full >> (−exp − 1), rounded to nearest
-		// even on the dropped bits.
+		// even on the dropped bits. exp = −25 reaches here too: values above
+		// 2^−25 round up to the minimum subnormal, 2^−25 itself ties to
+		// even (zero).
 		s := uint32(-exp) - 1
 		m := full >> s
 		rem := full & ((1 << s) - 1)
@@ -113,7 +155,7 @@ func FP16Encode(v float32) uint16 {
 			m++
 		}
 		return sign | uint16(m)
-	default: // underflow to zero
+	default: // below half the minimum subnormal: underflow to zero
 		return sign
 	}
 }

@@ -1,0 +1,163 @@
+package train
+
+import (
+	"testing"
+
+	"distgnn/internal/nn"
+	"distgnn/internal/quant"
+)
+
+// snapshotParams flattens rank 0's parameter values (not gradients).
+func snapshotParams(t *testing.T, s *distState, rank int) []float32 {
+	t.Helper()
+	params := s.ranks[rank].model.Params()
+	buf := make([]float32, nn.TotalElements(params))
+	nn.FlattenParamsInto(buf, params, false)
+	return buf
+}
+
+// TestCDRSConformsToCDR is the cd-rs conformance harness: the overlapped
+// algorithm must produce bit-identical parameters to cd-r at every epoch
+// for the same seed — overlap is a scheduling and accounting change, never
+// an arithmetic one. Checked across 2/4/8 simulated sockets, with overlap
+// both live and artificially forced to complete synchronously, in fp32 and
+// through the bf16 packed wire path.
+func TestCDRSConformsToCDR(t *testing.T) {
+	ds := testDataset(t)
+	const epochs, delay = 7, 2
+	for _, tc := range []struct {
+		sockets   int
+		forceSync bool
+		prec      quant.Precision
+	}{
+		{2, false, quant.FP32},
+		{4, false, quant.FP32},
+		{8, false, quant.FP32},
+		{2, true, quant.FP32},
+		{4, true, quant.FP32},
+		{8, true, quant.FP32},
+		{4, false, quant.BF16},
+		{4, true, quant.FP16},
+	} {
+		base := DistConfig{
+			Model: smallModel(), NumPartitions: tc.sockets,
+			Delay: delay, Epochs: epochs, LR: 0.05, UseAdam: true, Seed: 9,
+			CommPrecision: tc.prec,
+		}
+		refCfg := base
+		refCfg.Algo = AlgoCDR
+		ref, err := newDistState(ds, refCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ovlCfg := base
+		ovlCfg.Algo = AlgoCDRS
+		ovlCfg.ForceSyncOverlap = tc.forceSync
+		ovl, err := newDistState(ds, ovlCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for e := 0; e < epochs; e++ {
+			refStat := ref.runEpoch(e)
+			ovlStat := ovl.runEpoch(e)
+			if refStat.Loss != ovlStat.Loss {
+				t.Fatalf("k=%d force=%v %v epoch %d: loss %v (cd-r) vs %v (cd-rs)",
+					tc.sockets, tc.forceSync, tc.prec, e, refStat.Loss, ovlStat.Loss)
+			}
+			for rank := 0; rank < tc.sockets; rank++ {
+				a := snapshotParams(t, ref, rank)
+				b := snapshotParams(t, ovl, rank)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("k=%d force=%v %v epoch %d rank %d: param[%d] %v (cd-r) vs %v (cd-rs)",
+							tc.sockets, tc.forceSync, tc.prec, e, rank, i, a[i], b[i])
+					}
+				}
+			}
+		}
+		refTrain, refTest := ref.evaluate()
+		ovlTrain, ovlTest := ovl.evaluate()
+		if refTrain != ovlTrain || refTest != ovlTest {
+			t.Fatalf("k=%d force=%v %v: eval %v/%v (cd-r) vs %v/%v (cd-rs)",
+				tc.sockets, tc.forceSync, tc.prec, refTrain, refTest, ovlTrain, ovlTest)
+		}
+	}
+}
+
+// TestCDRDelay1ConformsToItself pins the analogous relation the suite
+// already relies on for the delay ladder: driving the state epoch by epoch
+// is observationally identical to the packaged Distributed loop, so the
+// conformance harness above really exercises the production path.
+func TestStatewiseDriverMatchesDistributed(t *testing.T) {
+	ds := testDataset(t)
+	cfg := DistConfig{
+		Model: smallModel(), NumPartitions: 4, Algo: AlgoCDRS, Delay: 2,
+		Epochs: 5, LR: 0.05, UseAdam: true, Seed: 9,
+	}
+	packaged, err := Distributed(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newDistState(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		st := s.runEpoch(e)
+		if st.Loss != packaged.Epochs[e].Loss {
+			t.Fatalf("epoch %d: driver loss %v vs Distributed %v", e, st.Loss, packaged.Epochs[e].Loss)
+		}
+	}
+	_, testAcc := s.evaluate()
+	if testAcc != packaged.TestAcc {
+		t.Fatalf("driver acc %v vs Distributed %v", testAcc, packaged.TestAcc)
+	}
+}
+
+// TestCDRSHidesNetworkBehindCompute is the §6.3 headline: at equal delay,
+// cd-rs's simulated epoch time must fall strictly below cd-r's, because the
+// α+bytes/β term rides under compute instead of blocking the epoch
+// boundary. Forcing the overlap synchronous must give the hiding back.
+func TestCDRSHidesNetworkBehindCompute(t *testing.T) {
+	ds := testDataset(t)
+	run := func(algo Algorithm, force bool) *DistResult {
+		res, err := Distributed(ds, DistConfig{
+			Model: smallModel(), NumPartitions: 4, Algo: algo, Delay: 3,
+			Epochs: 10, LR: 0.05, Seed: 2, ForceSyncOverlap: force,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cdr := run(AlgoCDR, false)
+	cdrs := run(AlgoCDRS, false)
+	forced := run(AlgoCDRS, true)
+
+	lo, hi := 6, 10 // steady state: delay pipeline full
+	et := func(r *DistResult) float64 { return r.AvgEpochSeconds(lo, hi) }
+	if !(et(cdrs) < et(cdr)) {
+		t.Fatalf("cd-rs epoch %v must be strictly below cd-r %v at equal delay",
+			et(cdrs), et(cdr))
+	}
+	for e := lo; e < hi; e++ {
+		if cdrs.Epochs[e].ExposedNet != 0 {
+			t.Fatalf("epoch %d: compute window dwarfs the transfers, exposed %v",
+				e, cdrs.Epochs[e].ExposedNet)
+		}
+		if forced.Epochs[e].ExposedNet <= 0 {
+			t.Fatalf("epoch %d: forced-sync cd-rs must expose network time", e)
+		}
+	}
+	if !(et(forced) > et(cdrs)) {
+		t.Fatalf("forced-sync cd-rs %v must cost more than overlapped %v",
+			et(forced), et(cdrs))
+	}
+	// Both deliver the same math: identical losses throughout.
+	for e := range cdr.Epochs {
+		if cdr.Epochs[e].Loss != cdrs.Epochs[e].Loss {
+			t.Fatalf("epoch %d: cd-r loss %v vs cd-rs %v", e, cdr.Epochs[e].Loss, cdrs.Epochs[e].Loss)
+		}
+	}
+}

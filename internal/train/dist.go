@@ -13,8 +13,8 @@ import (
 	"distgnn/internal/tensor"
 )
 
-// Algorithm selects one of the three distributed aggregation strategies of
-// §5.3 of the paper.
+// Algorithm selects one of the distributed aggregation strategies of §5.3
+// of the paper.
 type Algorithm string
 
 const (
@@ -25,8 +25,18 @@ const (
 	// every layer, giving every vertex its complete neighborhood.
 	AlgoCD0 Algorithm = "cd-0"
 	// AlgoCDR delays partial-aggregate exchange by Delay epochs and spreads
-	// it over Delay bins of split vertices (DRPA, Alg. 4).
+	// it over Delay bins of split vertices (DRPA, Alg. 4). The exchange
+	// itself is a blocking AlltoAllV at the epoch boundary, so its network
+	// term is exposed — smaller than cd-0's (1/Delay of the volume per
+	// epoch) but still on the critical path.
 	AlgoCDR Algorithm = "cd-r"
+	// AlgoCDRS is cd-r with the exchange overlapped behind compute via
+	// nonblocking Isend/Irecv (the paper's full DRPA, §6.3): each bin's
+	// partial-aggregate sends are posted as soon as a layer's aggregation
+	// produces them, completions are drained at layer boundaries, and only
+	// the un-hidden remainder of the α+bytes/β network term is charged —
+	// identical arithmetic to cd-r, network time hidden.
+	AlgoCDRS Algorithm = "cd-rs"
 )
 
 // DistConfig configures a distributed full-batch training run.
@@ -51,8 +61,15 @@ type DistConfig struct {
 	// CommPrecision selects the wire format for partial-aggregate
 	// exchanges (the §7 future-work extension): FP32 (default), BF16 or
 	// FP16. Low-precision formats halve the network volume; values are
-	// rounded through the format so the accuracy impact is real.
+	// rounded through the format so the accuracy impact is real. For cd-rs
+	// the pack/unpack runs inside the nonblocking request path, off the
+	// compute-critical path.
 	CommPrecision quant.Precision
+	// ForceSyncOverlap (cd-rs only) charges every nonblocking transfer as
+	// if it completed synchronously — overlap disabled in the cost model
+	// while the arithmetic stays untouched. The conformance harness uses it
+	// to pin cd-rs to cd-r's cost shape and bit-identical parameters.
+	ForceSyncOverlap bool
 	// Workers sizes the process-wide kernel worker pool shared by all
 	// simulated ranks — the OMP_NUM_THREADS knob. 0 keeps the current pool.
 	Workers int
@@ -61,7 +78,9 @@ type DistConfig struct {
 // DistEpochStat is one epoch of simulated-cluster timing plus the training
 // loss. Times are seconds on the modeled cluster: LAT/RAT split per §6.3
 // (LAT = forward local aggregation; RAT = remote aggregation including
-// pre/post processing and, for cd-0 only, exposed network time).
+// pre/post processing plus the exposed network time — the full term for
+// the blocking cd-0/cd-r exchanges, only the un-hidden remainder for
+// cd-rs).
 type DistEpochStat struct {
 	Loss      float64
 	LAT       float64 // forward local aggregation, max across ranks
@@ -70,6 +89,10 @@ type DistEpochStat struct {
 	MLP       float64 // dense layers fwd+bwd
 	ParamSync float64
 	Epoch     float64 // total simulated epoch time
+	// ExposedNet is the part of cd-rs's overlapped network traffic that
+	// compute failed to hide (max across ranks, already included in RAT).
+	// Zero for the blocking algorithms, whose full network term is exposed.
+	ExposedNet float64
 }
 
 // DistResult is the outcome of one distributed training run.
@@ -139,7 +162,7 @@ type rankCtx struct {
 	// aggregate widths per layer (input dim of each SAGE layer).
 	aggDims []int
 
-	// cd-r state.
+	// cd-r / cd-rs state.
 	captures  []*tensor.Matrix // fresh local aggregates per layer (split rows only)
 	remoteAdd []*tensor.Matrix // stale leaf-partial sums (root rows)
 	staleTot  []*tensor.Matrix // stale totals from roots (leaf rows)
@@ -148,10 +171,15 @@ type rankCtx struct {
 	pendingPartials map[int][]delivery
 	pendingTotals   map[int][]delivery
 
+	// cd-rs nonblocking state (overlap.go).
+	pendingAReqs   []pendReq        // phase-A receives in flight this epoch
+	pendingTotReqs map[int][]totReq // phase-B receives keyed by due epoch
+
 	// per-epoch communication counters.
 	gatherBytes int64
 	netBytes    int64
 	netMsgs     int64
+	exposedNet  float64 // cd-rs: un-hidden network seconds this epoch
 
 	opt nn.Optimizer
 }
@@ -160,12 +188,29 @@ type rankCtx struct {
 type delivery struct {
 	peer int
 	bin  int
-	data []float32 // concatenated layer rows
+	// layer is the single layer a cd-rs phase-A payload carries; allLayers
+	// marks cd-r's concatenated-across-layers wire format.
+	layer int
+	data  []float32
 }
 
-// Distributed trains GraphSAGE over NumPartitions simulated sockets and
-// returns global accuracy plus per-epoch simulated timing.
-func Distributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error) {
+// distState is a fully initialized distributed run: validated config,
+// partitioning, per-rank contexts and communicator. Distributed drives it
+// epoch by epoch; the cd-rs conformance harness drives it manually so it
+// can snapshot parameters between epochs.
+type distState struct {
+	cfg         DistConfig
+	pt          *partition.Partitioning
+	ranks       []*rankCtx
+	world       *comm.World
+	lossParts   []float64
+	globalTrain int
+	testIdx     []int32
+}
+
+// newDistState validates and defaults cfg, partitions the graph, and builds
+// every rank's local state.
+func newDistState(ds *datasets.Dataset, cfg DistConfig) (*distState, error) {
 	if cfg.NumPartitions < 1 {
 		return nil, fmt.Errorf("train: NumPartitions must be ≥1, got %d", cfg.NumPartitions)
 	}
@@ -177,9 +222,9 @@ func Distributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error) {
 	}
 	switch cfg.Algo {
 	case Algo0C, AlgoCD0:
-	case AlgoCDR:
+	case AlgoCDR, AlgoCDRS:
 		if cfg.Delay < 1 {
-			return nil, fmt.Errorf("train: cd-r requires Delay ≥ 1, got %d", cfg.Delay)
+			return nil, fmt.Errorf("train: %s requires Delay ≥ 1, got %d", cfg.Algo, cfg.Delay)
 		}
 	default:
 		return nil, fmt.Errorf("train: unknown algorithm %q", cfg.Algo)
@@ -217,7 +262,7 @@ func Distributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error) {
 		return nil, err
 	}
 	bins := 1
-	if cfg.Algo == AlgoCDR {
+	if cfg.Algo == AlgoCDR || cfg.Algo == AlgoCDRS {
 		bins = cfg.Delay
 	}
 	plans := buildXPlans(pt, bins)
@@ -226,71 +271,81 @@ func Distributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	res := &DistResult{
-		Replication: pt.ReplicationFactor(),
-		SplitFrac:   pt.SplitVertexFraction(),
-		EdgeBalance: pt.EdgeBalance(),
-		NumParams:   ranks[0].model.NumParams(),
-		Epochs:      make([]DistEpochStat, cfg.Epochs),
-	}
-
-	globalTrain := len(ds.TrainIdx)
 	world := ranks[0].world
-	lossParts := make([]float64, cfg.NumPartitions)
+	world.ConfigureAsync(cfg.Net, cfg.ForceSyncOverlap)
+	return &distState{
+		cfg: cfg, pt: pt, ranks: ranks, world: world,
+		lossParts:   make([]float64, cfg.NumPartitions),
+		globalTrain: len(ds.TrainIdx),
+		testIdx:     ds.TestIdx,
+	}, nil
+}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		e := epoch
-		world.Run(func(rank int) {
-			r := ranks[rank]
-			r.resetCounters()
-			r.installHooks(e)
-
-			logits := r.model.Forward(r.x, true)
-			loss, dlogits := nn.MaskedCrossEntropy(logits, r.labels, r.ownedTrain)
-			// Re-weight the local mean into the global mean's share.
-			scale := float32(0)
-			if globalTrain > 0 {
-				scale = float32(len(r.ownedTrain)) / float32(globalTrain)
-			}
-			dlogits.Scale(scale)
-			lossParts[rank] = loss * float64(len(r.ownedTrain))
-
-			params := r.model.Params()
-			nn.ZeroGrads(params)
-			r.model.Backward(dlogits)
-
-			if cfg.Algo == AlgoCDR {
-				r.delayedExchange(e)
-			}
-
-			// Parameter gradient AllReduce (sum of per-rank global-mean
-			// shares = global mean) keeps all model replicas identical. The
-			// flattened buffer is recycled across epochs and ranks.
-			gbuf := gradScratch.Get(nn.TotalElements(params))
-			nn.FlattenParamsInto(gbuf, params, true)
-			world.AllReduceSum(rank, gbuf)
-			nn.UnflattenParams(params, gbuf, true)
-			gradScratch.Put(gbuf)
-			r.optStep()
-		})
-
-		res.Epochs[e] = timeEpoch(&cfg, ranks)
-		var lsum float64
-		for _, l := range lossParts {
-			lsum += l
-		}
-		if globalTrain > 0 {
-			res.Epochs[e].Loss = lsum / float64(globalTrain)
-		}
+// runEpoch executes one full training epoch across all ranks and returns
+// its simulated timing plus the global training loss.
+func (s *distState) runEpoch(epoch int) DistEpochStat {
+	cfg := &s.cfg
+	if cfg.Algo == AlgoCDRS {
+		// The previous epoch's gradient AllReduce is a barrier: align the
+		// simulated clocks so overlap windows measure within-epoch hiding,
+		// not accumulated inter-rank drift.
+		cfg.Net.SyncClocks()
 	}
+	s.world.Run(func(rank int) {
+		r := s.ranks[rank]
+		r.resetCounters()
+		r.installHooks(epoch)
 
-	// Global evaluation: each rank scores its owned vertices; counts are
-	// summed with an AllReduce.
-	accs := make([][2]float64, cfg.NumPartitions) // {trainCorrect, testCorrect}
-	world.Run(func(rank int) {
-		r := ranks[rank]
-		r.installHooks(cfg.Epochs) // stale buffers (cd-r) / sync exchange (cd-0) still apply
+		logits := r.model.Forward(r.x, true)
+		loss, dlogits := nn.MaskedCrossEntropy(logits, r.labels, r.ownedTrain)
+		// Re-weight the local mean into the global mean's share.
+		scale := float32(0)
+		if s.globalTrain > 0 {
+			scale = float32(len(r.ownedTrain)) / float32(s.globalTrain)
+		}
+		dlogits.Scale(scale)
+		s.lossParts[rank] = loss * float64(len(r.ownedTrain))
+
+		params := r.model.Params()
+		nn.ZeroGrads(params)
+		r.model.Backward(dlogits)
+
+		switch cfg.Algo {
+		case AlgoCDR:
+			r.delayedExchange(epoch)
+		case AlgoCDRS:
+			r.overlappedExchange(epoch)
+		}
+
+		// Parameter gradient AllReduce (sum of per-rank global-mean
+		// shares = global mean) keeps all model replicas identical. The
+		// flattened buffer is recycled across epochs and ranks.
+		gbuf := gradScratch.Get(nn.TotalElements(params))
+		nn.FlattenParamsInto(gbuf, params, true)
+		s.world.AllReduceSum(rank, gbuf)
+		nn.UnflattenParams(params, gbuf, true)
+		gradScratch.Put(gbuf)
+		r.optStep()
+	})
+
+	st := timeEpoch(cfg, s.ranks)
+	var lsum float64
+	for _, l := range s.lossParts {
+		lsum += l
+	}
+	if s.globalTrain > 0 {
+		st.Loss = lsum / float64(s.globalTrain)
+	}
+	return st
+}
+
+// evaluate scores every rank's owned vertices and returns global train/test
+// accuracy.
+func (s *distState) evaluate() (trainAcc, testAcc float64) {
+	accs := make([][2]float64, s.cfg.NumPartitions) // {trainCorrect, testCorrect}
+	s.world.Run(func(rank int) {
+		r := s.ranks[rank]
+		r.installHooks(s.cfg.Epochs) // stale buffers (cd-r/cd-rs) / sync exchange (cd-0) still apply
 		logits := r.model.Forward(r.x, false)
 		pred := make([]int, logits.Rows)
 		logits.ArgmaxRows(pred)
@@ -312,11 +367,32 @@ func Distributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error) {
 		trainC += a[0]
 		testC += a[1]
 	}
-	if globalTrain > 0 {
-		res.TrainAcc = trainC / float64(globalTrain)
+	if s.globalTrain > 0 {
+		trainAcc = trainC / float64(s.globalTrain)
 	}
-	if len(ds.TestIdx) > 0 {
-		res.TestAcc = testC / float64(len(ds.TestIdx))
+	if len(s.testIdx) > 0 {
+		testAcc = testC / float64(len(s.testIdx))
 	}
+	return trainAcc, testAcc
+}
+
+// Distributed trains GraphSAGE over NumPartitions simulated sockets and
+// returns global accuracy plus per-epoch simulated timing.
+func Distributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error) {
+	s, err := newDistState(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &DistResult{
+		Replication: s.pt.ReplicationFactor(),
+		SplitFrac:   s.pt.SplitVertexFraction(),
+		EdgeBalance: s.pt.EdgeBalance(),
+		NumParams:   s.ranks[0].model.NumParams(),
+		Epochs:      make([]DistEpochStat, s.cfg.Epochs),
+	}
+	for epoch := 0; epoch < s.cfg.Epochs; epoch++ {
+		res.Epochs[epoch] = s.runEpoch(epoch)
+	}
+	res.TrainAcc, res.TestAcc = s.evaluate()
 	return res, nil
 }

@@ -97,7 +97,7 @@ func setupRanks(ds *datasets.Dataset, cfg *DistConfig, pt *partition.Partitionin
 			}
 		}
 
-		if cfg.Algo == AlgoCDR {
+		if cfg.Algo == AlgoCDR || cfg.Algo == AlgoCDRS {
 			r.captures = make([]*tensor.Matrix, len(aggDims))
 			r.remoteAdd = make([]*tensor.Matrix, len(aggDims))
 			r.staleTot = make([]*tensor.Matrix, len(aggDims))
@@ -109,6 +109,7 @@ func setupRanks(ds *datasets.Dataset, cfg *DistConfig, pt *partition.Partitionin
 			r.staleMask = make([]bool, nLocal)
 			r.pendingPartials = make(map[int][]delivery)
 			r.pendingTotals = make(map[int][]delivery)
+			r.pendingTotReqs = make(map[int][]totReq)
 		}
 		ranks[p] = r
 	}
@@ -129,10 +130,11 @@ func (r *rankCtx) optStep() { r.opt.Step(r.model.Params()) }
 
 func (r *rankCtx) resetCounters() {
 	r.gatherBytes, r.netBytes, r.netMsgs = 0, 0, 0
+	r.exposedNet = 0
 }
 
 // installHooks wires the model's forward hook for the configured algorithm
-// at the given epoch (cd-r needs the epoch to select its bin).
+// at the given epoch (cd-r/cd-rs need the epoch to select its bin).
 func (r *rankCtx) installHooks(epoch int) {
 	switch r.cfg.Algo {
 	case Algo0C:
@@ -145,6 +147,20 @@ func (r *rankCtx) installHooks(epoch int) {
 		bin := epoch % r.plan.bins
 		r.model.FwdHook = func(layer int, agg *tensor.Matrix) {
 			r.cdrForwardHook(layer, agg, bin)
+		}
+	case AlgoCDRS:
+		bin := epoch % r.plan.bins
+		if epoch >= r.cfg.Epochs {
+			// Evaluation forward pass: stale buffers still apply, but
+			// nothing new is posted on the fabric.
+			r.model.FwdHook = func(layer int, agg *tensor.Matrix) {
+				r.cdrForwardHook(layer, agg, bin)
+			}
+			return
+		}
+		e := epoch
+		r.model.FwdHook = func(layer int, agg *tensor.Matrix) {
+			r.cdrsForwardHook(layer, agg, bin, e)
 		}
 	}
 }
@@ -202,10 +218,16 @@ func (r *rankCtx) countSend(rows, d int) {
 
 // cdrForwardHook is the per-layer forward hook of the DRPA algorithm:
 // capture this epoch's fresh local partials for the active bin, then apply
-// the stale remote contributions received in earlier epochs.
+// the stale remote contributions received in earlier epochs. cd-rs shares
+// both halves — its hook only adds the nonblocking posts in between.
 func (r *rankCtx) cdrForwardHook(layer int, agg *tensor.Matrix, bin int) {
-	// Capture fresh local partials of rows this rank will send (as leaf)
-	// or fold into totals (as root) this epoch.
+	r.captureBin(layer, agg, bin)
+	r.applyStale(layer, agg)
+}
+
+// captureBin snapshots fresh local partials of rows this rank will send (as
+// leaf) or fold into totals (as root) this epoch.
+func (r *rankCtx) captureBin(layer int, agg *tensor.Matrix, bin int) {
 	cap := r.captures[layer]
 	for peer := 0; peer < r.world.N; peer++ {
 		for _, row := range r.plan.leafSend[bin][peer] {
@@ -215,9 +237,13 @@ func (r *rankCtx) cdrForwardHook(layer int, agg *tensor.Matrix, bin int) {
 			copy(cap.Row(int(row)), agg.Row(int(row)))
 		}
 	}
-	// Roots: add the stale sums of leaf partials.
+}
+
+// applyStale folds in the remote contributions received in earlier epochs:
+// roots add the stale sums of leaf partials, leaves overwrite with the
+// stale totals where one has arrived.
+func (r *rankCtx) applyStale(layer int, agg *tensor.Matrix) {
 	agg.Add(r.remoteAdd[layer])
-	// Leaves: overwrite with the stale totals where one has arrived.
 	stale := r.staleTot[layer]
 	for v := 0; v < agg.Rows; v++ {
 		if r.staleMask[v] {
@@ -253,7 +279,7 @@ func (r *rankCtx) delayedExchange(epoch int) {
 	for peer := 0; peer < k; peer++ {
 		if len(recv[peer]) > 0 {
 			r.pendingPartials[epoch+r.cfg.Delay] = append(r.pendingPartials[epoch+r.cfg.Delay],
-				delivery{peer: peer, bin: bin, data: recv[peer]})
+				delivery{peer: peer, bin: bin, layer: allLayers, data: recv[peer]})
 		}
 	}
 
@@ -311,7 +337,7 @@ func (r *rankCtx) delayedExchange(epoch int) {
 	for peer := 0; peer < k; peer++ {
 		if len(recv[peer]) > 0 {
 			r.pendingTotals[epoch+r.cfg.Delay] = append(r.pendingTotals[epoch+r.cfg.Delay],
-				delivery{peer: peer, bin: bin, data: recv[peer]})
+				delivery{peer: peer, bin: bin, layer: allLayers, data: recv[peer]})
 		}
 	}
 

@@ -1,0 +1,208 @@
+package train
+
+// overlap.go implements cd-rs, the top of the paper's algorithm ladder:
+// cd-r's delayed partial-aggregate exchange rebuilt on nonblocking
+// Isend/Irecv so the network term overlaps with compute (§6.3). Each bin's
+// leaf partials are posted to their roots as soon as a layer's aggregation
+// produces them — before the forward pass of the remaining layers —
+// completions are drained at layer boundaries, and the epoch-end wait
+// charges only what compute failed to hide. Every floating-point operation
+// matches cd-r exactly: the same captures are shipped, the same delay
+// queues hold them, and the reduction applies peer contributions in the
+// same (peer, layer) order, so cd-rs is bit-identical to cd-r at every
+// epoch (the conformance tests pin this at 2/4/8 sockets).
+
+import (
+	"sort"
+
+	"distgnn/internal/comm"
+	"distgnn/internal/tensor"
+)
+
+// allLayers marks a delivery whose payload concatenates every layer (the
+// cd-r wire format); cd-rs phase-A deliveries carry one layer each.
+const allLayers = -1
+
+// pendReq is a phase-A (leaf partial → root) receive in flight.
+type pendReq struct {
+	peer  int
+	bin   int
+	layer int
+	req   *comm.Request
+}
+
+// totReq is a phase-B (root total → leaf) receive parked until its delay
+// elapses; Delay epochs of compute hide the transfer entirely.
+type totReq struct {
+	peer int
+	bin  int
+	req  *comm.Request
+}
+
+// Message tags: phase-A partials are keyed by (epoch, layer) on the even
+// namespace, phase-B totals by epoch on the odd one, so no two in-flight
+// payloads between a rank pair ever share a key.
+func tagPartial(epoch, numLayers, layer int) int { return (epoch*numLayers + layer) << 1 }
+func tagTotal(epoch int) int                     { return epoch<<1 | 1 }
+
+// cdrsForwardHook is cd-r's forward hook with the exchange posted inline:
+// capture the bin's fresh partials, ship this layer's rows immediately so
+// the transfer rides under the remaining layers' compute, reel in already
+// hidden arrivals, then apply the stale remote state exactly as cd-r does.
+func (r *rankCtx) cdrsForwardHook(layer int, agg *tensor.Matrix, bin, epoch int) {
+	// This layer's aggregation is compute the in-flight transfers hide
+	// behind; advance the simulated clock before posting.
+	r.cfg.Net.ChargeCompute(r.id,
+		r.cfg.Compute.AggSeconds(int64(r.part.G.NumEdges)*int64(r.aggDims[layer])))
+
+	r.captureBin(layer, agg, bin)
+
+	numLayers := len(r.aggDims)
+	tag := tagPartial(epoch, numLayers, layer)
+	for peer := 0; peer < r.world.N; peer++ {
+		if rows := r.plan.leafSend[bin][peer]; len(rows) > 0 {
+			payload := packRows(r.captures[layer], rows)
+			r.world.IsendPacked(r.id, peer, tag, payload, r.cfg.CommPrecision)
+			r.countSend(len(rows), r.aggDims[layer])
+		}
+		if len(r.plan.rootRecv[bin][peer]) > 0 {
+			r.pendingAReqs = append(r.pendingAReqs, pendReq{
+				peer: peer, bin: bin, layer: layer,
+				req: r.world.Irecv(r.id, peer, tag),
+			})
+		}
+	}
+
+	// Layer boundary: drain transfers that completed under the compute
+	// charged so far.
+	r.drainPartials(epoch, false)
+
+	r.applyStale(layer, agg)
+}
+
+// drainPartials moves completed phase-A receives into the delay queue. At
+// layer boundaries (final=false) it takes only transfers that are already
+// hidden — present and simulated-complete, so the set drained is a function
+// of simulated time, not goroutine scheduling. At the epoch end
+// (final=true) it waits out the rest, accumulating the exposed remainder.
+func (r *rankCtx) drainPartials(epoch int, final bool) {
+	kept := r.pendingAReqs[:0]
+	for _, pr := range r.pendingAReqs {
+		if !final {
+			hidden, err := pr.req.TestHidden()
+			if err != nil {
+				panic(err)
+			}
+			if !hidden {
+				kept = append(kept, pr)
+				continue
+			}
+		}
+		data, err := pr.req.Wait()
+		if err != nil {
+			panic(err)
+		}
+		r.exposedNet += pr.req.Exposed()
+		r.pendingPartials[epoch+r.cfg.Delay] = append(r.pendingPartials[epoch+r.cfg.Delay],
+			delivery{peer: pr.peer, bin: pr.bin, layer: pr.layer, data: data})
+	}
+	r.pendingAReqs = kept
+}
+
+// overlappedExchange is cd-rs's epoch-end step, the counterpart of cd-r's
+// delayedExchange: finish draining this epoch's posts, reduce the partials
+// whose delay elapsed, ship totals back to leaves nonblocking, and harvest
+// totals that have ridden out their own delay.
+func (r *rankCtx) overlappedExchange(epoch int) {
+	// Backward aggregation and the dense layers extend the overlap window
+	// before the final drain.
+	r.cfg.Net.ChargeCompute(r.id,
+		r.cfg.Compute.AggSeconds(r.aggWorkElems())+r.cfg.Compute.MLPSeconds(r.mlpWorkMACs()))
+	r.drainPartials(epoch, true)
+
+	k := r.world.N
+	bin := epoch % r.plan.bins
+
+	// Root side: reduce due partials. Arrival order is whatever the drains
+	// produced; sorting by (peer, layer) restores cd-r's reduction order so
+	// the float sums are bit-identical.
+	due := r.pendingPartials[epoch]
+	delete(r.pendingPartials, epoch)
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].peer != due[j].peer {
+			return due[i].peer < due[j].peer
+		}
+		return due[i].layer < due[j].layer
+	})
+	for _, dl := range due {
+		zeroRows(r.remoteAdd[dl.layer], r.plan.rootRecv[dl.bin][dl.peer])
+	}
+	for _, dl := range due {
+		rows := r.plan.rootRecv[dl.bin][dl.peer]
+		addRows(r.remoteAdd[dl.layer], rows, dl.data)
+		r.gatherBytes += int64(len(rows)*r.aggDims[dl.layer]) * 4
+	}
+
+	// Phase B: totals (fresh root partial + stale leaf sums) back to the
+	// leaves, in cd-r's concatenated-layers wire format, posted nonblocking.
+	if len(due) > 0 {
+		for peer := 0; peer < k; peer++ {
+			rows := r.plan.rootSend[bin][peer]
+			if len(rows) == 0 {
+				continue
+			}
+			var buf []float32
+			for l, d := range r.aggDims {
+				chunk := make([]float32, len(rows)*d)
+				for i, row := range rows {
+					dst := chunk[i*d : (i+1)*d]
+					copy(dst, r.captures[l].Row(int(row)))
+					remote := r.remoteAdd[l].Row(int(row))
+					for j := range dst {
+						dst[j] += remote[j]
+					}
+				}
+				buf = append(buf, chunk...)
+				r.countSend(len(rows), d)
+			}
+			r.world.IsendPacked(r.id, peer, tagTotal(epoch), buf, r.cfg.CommPrecision)
+		}
+	}
+
+	// Leaf side: post receives for the totals roots just sent (roots have
+	// due partials — hence send — exactly when epoch ≥ Delay), parked until
+	// their own delay elapses.
+	if epoch >= r.cfg.Delay {
+		for peer := 0; peer < k; peer++ {
+			if len(r.plan.leafRecv[bin][peer]) == 0 {
+				continue
+			}
+			r.pendingTotReqs[epoch+r.cfg.Delay] = append(r.pendingTotReqs[epoch+r.cfg.Delay],
+				totReq{peer: peer, bin: bin, req: r.world.Irecv(r.id, peer, tagTotal(epoch))})
+		}
+	}
+
+	// Harvest totals whose delay elapsed: Delay epochs of compute have
+	// advanced the clock far past their completion, so the wait is free.
+	dueT := r.pendingTotReqs[epoch]
+	delete(r.pendingTotReqs, epoch)
+	sort.Slice(dueT, func(i, j int) bool { return dueT[i].peer < dueT[j].peer })
+	for _, tr := range dueT {
+		data, err := tr.req.Wait()
+		if err != nil {
+			panic(err)
+		}
+		r.exposedNet += tr.req.Exposed()
+		off := 0
+		for l, d := range r.aggDims {
+			rows := r.plan.leafRecv[tr.bin][tr.peer]
+			n := len(rows) * d
+			setRows(r.staleTot[l], rows, data[off:off+n])
+			r.gatherBytes += int64(n) * 4
+			off += n
+			for _, row := range rows {
+				r.staleMask[row] = true
+			}
+		}
+	}
+}

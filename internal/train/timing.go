@@ -3,11 +3,12 @@ package train
 // timing.go converts each epoch's executed work and communication counters
 // into simulated cluster time (Fig. 5/6). Each partition is modeled as one
 // full CPU socket: compute terms use the calibrated per-socket throughput
-// model and communication terms use the α–β network model. cd-r's network
-// transfers are overlapped with compute across epochs (§5.3), so its RAT
-// contains only the gather/scatter pre/post processing — the behaviour
-// §6.3 reports ("a negligible amount of time is spent waiting for
-// asynchronous overlapped communication").
+// model and communication terms use the α–β network model. The blocking
+// algorithms (cd-0 every layer, cd-r once per epoch) expose their full
+// network term; cd-rs posts the same traffic nonblocking and pays only the
+// remainder its compute failed to hide — the behaviour §6.3 reports ("a
+// negligible amount of time is spent waiting for asynchronous overlapped
+// communication").
 
 // aggWorkElems returns the forward aggregation work of one rank in
 // edge-feature element updates: Σ_layers |E_p| × d_l.
@@ -47,10 +48,20 @@ func timeEpoch(cfg *DistConfig, ranks []*rankCtx) DistEpochStat {
 		mlp := cfg.Compute.MLPSeconds(r.mlpWorkMACs())
 
 		rat := float64(r.gatherBytes) / cfg.Net.MemBandwidth
-		if cfg.Algo == AlgoCD0 {
-			// Synchronous exchange exposes the network time.
+		switch cfg.Algo {
+		case AlgoCD0, AlgoCDR:
+			// Synchronous exchange exposes the network time: cd-0 blocks at
+			// every layer, cd-r's AlltoAllV blocks at the epoch boundary
+			// (on 1/Delay of the volume).
 			rat += float64(r.netMsgs)*cfg.Net.NetLatency +
 				float64(r.netBytes)/cfg.Net.NetBandwidth
+		case AlgoCDRS:
+			// Overlapped exchange: only the remainder compute failed to
+			// hide, as accounted at each Wait.
+			rat += r.exposedNet
+			if r.exposedNet > st.ExposedNet {
+				st.ExposedNet = r.exposedNet
+			}
 		}
 
 		if lat > st.LAT {

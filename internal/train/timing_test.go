@@ -17,7 +17,7 @@ func buildRanksForTiming(t *testing.T, k int, algo Algorithm) (*DistConfig, []*r
 		Compute: comm.ComputeModel{AggElemsPerSec: 1e9, MACsPerSec: 1e10},
 		Net:     comm.DefaultCostModel(k),
 	}
-	if algo == AlgoCDR {
+	if algo == AlgoCDR || algo == AlgoCDRS {
 		cfg.Delay = 2
 	}
 	mc := cfg.Model
@@ -30,7 +30,7 @@ func buildRanksForTiming(t *testing.T, k int, algo Algorithm) (*DistConfig, []*r
 		t.Fatal(err)
 	}
 	bins := 1
-	if algo == AlgoCDR {
+	if algo == AlgoCDR || algo == AlgoCDRS {
 		bins = cfg.Delay
 	}
 	ranks, err := setupRanks(ds, &cfg, pt, buildXPlans(pt, bins))
@@ -94,29 +94,44 @@ func TestTimeEpochSingleRankNoParamSync(t *testing.T) {
 	}
 }
 
-func TestCD0NetworkExposedInRAT(t *testing.T) {
-	cfg, ranks := buildRanksForTiming(t, 2, AlgoCD0)
-	// Simulate counters as if an exchange happened.
-	ranks[0].gatherBytes = 1 << 20
-	ranks[0].netBytes = 1 << 20
-	ranks[0].netMsgs = 4
-	st := timeEpoch(cfg, ranks)
-	wantMin := float64(1<<20) / cfg.Net.NetBandwidth
-	if st.RAT < wantMin {
-		t.Fatalf("cd-0 RAT %v must include network term ≥ %v", st.RAT, wantMin)
+func TestBlockingNetworkExposedInRAT(t *testing.T) {
+	// The blocking algorithms (cd-0, cd-r) expose their full network term;
+	// cd-rs pays only what its Waits recorded as un-hidden.
+	for _, algo := range []Algorithm{AlgoCD0, AlgoCDR} {
+		cfg, ranks := buildRanksForTiming(t, 2, algo)
+		// Simulate counters as if an exchange happened.
+		ranks[0].gatherBytes = 1 << 20
+		ranks[0].netBytes = 1 << 20
+		ranks[0].netMsgs = 4
+		st := timeEpoch(cfg, ranks)
+		want := float64(1<<20)/cfg.Net.MemBandwidth +
+			4*cfg.Net.NetLatency + float64(1<<20)/cfg.Net.NetBandwidth
+		if st.RAT != want {
+			t.Fatalf("%s RAT %v must expose the full network term (%v)", algo, st.RAT, want)
+		}
 	}
 
-	// Same counters under cd-r: network is hidden, only gather shows.
-	cfgR, ranksR := buildRanksForTiming(t, 2, AlgoCDR)
-	ranksR[0].gatherBytes = 1 << 20
-	ranksR[0].netBytes = 1 << 20
-	ranksR[0].netMsgs = 4
-	stR := timeEpoch(cfgR, ranksR)
-	if stR.RAT >= st.RAT {
-		t.Fatalf("cd-r RAT %v must be below cd-0 RAT %v", stR.RAT, st.RAT)
+	// Same counters under cd-rs with everything hidden: only gather shows.
+	cfgS, ranksS := buildRanksForTiming(t, 2, AlgoCDRS)
+	ranksS[0].gatherBytes = 1 << 20
+	ranksS[0].netBytes = 1 << 20
+	ranksS[0].netMsgs = 4
+	stS := timeEpoch(cfgS, ranksS)
+	wantGather := float64(1<<20) / cfgS.Net.MemBandwidth
+	if stS.RAT != wantGather {
+		t.Fatalf("fully hidden cd-rs RAT %v must be pre/post only (%v)", stS.RAT, wantGather)
 	}
-	wantGather := float64(1<<20) / cfgR.Net.MemBandwidth
-	if stR.RAT != wantGather {
-		t.Fatalf("cd-r RAT %v must be pre/post only (%v)", stR.RAT, wantGather)
+	if stS.ExposedNet != 0 {
+		t.Fatalf("fully hidden cd-rs ExposedNet must be 0, got %v", stS.ExposedNet)
+	}
+
+	// With an un-hidden remainder recorded, cd-rs RAT carries exactly it.
+	ranksS[0].exposedNet = 1e-3
+	stS = timeEpoch(cfgS, ranksS)
+	if stS.RAT != wantGather+1e-3 {
+		t.Fatalf("cd-rs RAT %v must be gather + exposed remainder (%v)", stS.RAT, wantGather+1e-3)
+	}
+	if stS.ExposedNet != 1e-3 {
+		t.Fatalf("cd-rs ExposedNet %v must surface the remainder", stS.ExposedNet)
 	}
 }

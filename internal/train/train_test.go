@@ -85,6 +85,7 @@ func TestDistributedRejectsBadConfig(t *testing.T) {
 		{Model: smallModel(), NumPartitions: 2, Algo: Algo0C, Epochs: 0, LR: 0.1},
 		{Model: smallModel(), NumPartitions: 2, Algo: "bogus", Epochs: 1, LR: 0.1},
 		{Model: smallModel(), NumPartitions: 2, Algo: AlgoCDR, Delay: 0, Epochs: 1, LR: 0.1},
+		{Model: smallModel(), NumPartitions: 2, Algo: AlgoCDRS, Delay: 0, Epochs: 1, LR: 0.1},
 	}
 	for i, cfg := range cases {
 		if _, err := Distributed(ds, cfg); err == nil {
@@ -142,7 +143,7 @@ func TestAllAlgorithmsLearn(t *testing.T) {
 	for _, tc := range []struct {
 		algo  Algorithm
 		delay int
-	}{{Algo0C, 0}, {AlgoCD0, 0}, {AlgoCDR, 3}} {
+	}{{Algo0C, 0}, {AlgoCD0, 0}, {AlgoCDR, 3}, {AlgoCDRS, 3}} {
 		res, err := Distributed(ds, DistConfig{
 			Model: smallModel(), NumPartitions: 4, Algo: tc.algo, Delay: tc.delay,
 			Epochs: 40, LR: 0.05, UseAdam: true, Seed: 2,
