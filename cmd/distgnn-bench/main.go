@@ -26,6 +26,8 @@ func main() {
 	epochs := flag.Int("epochs", 0, "override per-experiment epoch/iteration counts")
 	workers := flag.Int("workers", 0,
 		"kernel worker-pool size, the OMP_NUM_THREADS analogue (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "",
+		"write machine-readable results to this file (experiments that emit them, e.g. abl-transport)")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
 
@@ -58,6 +60,15 @@ func main() {
 		}
 	}
 	opt := bench.Options{Scale: *scale, Epochs: *epochs, Out: os.Stdout}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distgnn-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opt.JSON = f
+	}
 	for _, id := range args {
 		e, ok := bench.Lookup(id)
 		if !ok {

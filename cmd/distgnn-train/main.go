@@ -1,20 +1,33 @@
 // Command distgnn-train trains GraphSAGE full-batch on a synthetic
-// benchmark dataset, either on a single simulated socket or distributed
-// across simulated sockets with one of the paper's three algorithms.
+// benchmark dataset: on a single socket, distributed across in-process
+// simulated sockets, or as one rank of a true multi-process run over TCP.
 //
 // Examples:
 //
 //	distgnn-train -dataset reddit-sim -epochs 50 -lr 0.01
 //	distgnn-train -dataset ogbn-products-sim -sockets 8 -algo cd-r -delay 5
 //	distgnn-train -dataset ogbn-products-sim -sockets 8 -algo cd-rs -delay 5
+//
+// True multi-process training over TCP (see README "Running true
+// multi-process training"): every process runs this same binary with its
+// own -rank; only rank 0's address must be known (the rendezvous
+// registry), and -spawn-local forks the whole fleet on one machine:
+//
+//	distgnn-train -transport tcp -spawn-local -sockets 2 -algo cd-rs -delay 5
+//	distgnn-train -transport tcp -sockets 2 -rank 0 -peers 10.0.0.1:9000 ... # on host A
+//	distgnn-train -transport tcp -sockets 2 -rank 1 -peers 10.0.0.1:9000 ... # on host B
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/exec"
 	"strings"
+	"time"
 
+	"distgnn/internal/comm"
 	"distgnn/internal/datasets"
 	"distgnn/internal/graphio"
 	"distgnn/internal/model"
@@ -27,7 +40,7 @@ func main() {
 		"dataset name: "+strings.Join(datasets.Names(), ", "))
 	scale := flag.Float64("scale", 0.5, "dataset scale factor")
 	file := flag.String("file", "", "load a dataset file written by distgnn-datagen instead of generating")
-	sockets := flag.Int("sockets", 1, "number of simulated CPU sockets (partitions)")
+	sockets := flag.Int("sockets", 1, "number of CPU sockets (partitions / ranks)")
 	algo := flag.String("algo", "cd-0", "distributed algorithm: 0c, cd-0, cd-r, cd-rs (nonblocking overlap)")
 	delay := flag.Int("delay", 5, "delay r for cd-r/cd-rs")
 	forceSync := flag.Bool("force-sync-overlap", false,
@@ -44,7 +57,41 @@ func main() {
 		"kernel worker-pool size, the OMP_NUM_THREADS analogue (0 = GOMAXPROCS)")
 	autotune := flag.Bool("autotune", false,
 		"benchmark aggregation-kernel variants on the dataset and use the fastest (replaces the built-in heuristic)")
+	transport := flag.String("transport", "inproc",
+		"comm fabric for -sockets >1: inproc (every rank a goroutine in this process) or tcp (this process is one rank of a multi-process fleet)")
+	rank := flag.Int("rank", 0, "tcp: this process's rank")
+	peers := flag.String("peers", "",
+		"tcp: comma-separated rank→listen addresses; only the rank-0 entry is required (rendezvous registry), others default to ephemeral loopback ports")
+	listen := flag.String("listen", "",
+		"tcp: bind address override for this rank (cross-machine ranks bind a routable interface here)")
+	advertise := flag.String("advertise", "",
+		"tcp: routable host:port this rank registers with the rendezvous (defaults to the bound address)")
+	spawnLocal := flag.Bool("spawn-local", false,
+		"tcp: fork -sockets processes of this binary over loopback; this process trains rank 0")
+	netTimeout := flag.Duration("net-timeout", comm.DefaultTCPTimeout,
+		"tcp: deadline for dial/handshake/send/recv/barrier operations")
 	flag.Parse()
+
+	// TCP fabric setup happens before the (identical, deterministic)
+	// dataset generation so spawned ranks start rendezvousing while the
+	// parent builds its graph.
+	var tr comm.Transport
+	var children []*exec.Cmd
+	tcpMode := *transport == "tcp" && *sockets > 1
+	switch {
+	case *transport != "inproc" && *transport != "tcp":
+		fatal(fmt.Errorf("unknown -transport %q (inproc or tcp)", *transport))
+	case tcpMode:
+		var err error
+		tr, children, err = setupTCP(*sockets, *rank, *peers, *listen, *advertise, *spawnLocal, *netTimeout)
+		if err != nil {
+			fatal(err)
+		}
+	case *spawnLocal:
+		fatal(fmt.Errorf("-spawn-local requires -transport tcp and -sockets >1"))
+	}
+	// Rank 0 speaks for a TCP fleet; other ranks train silently.
+	verbose := !tcpMode || *rank == 0
 
 	var ds *datasets.Dataset
 	var err error
@@ -63,9 +110,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("dataset %s: %d vertices, %d edges (avg degree %.1f), %d features, %d classes\n",
-		name, ds.G.NumVertices, ds.G.NumEdges, ds.G.AvgDegree(),
-		ds.Features.Cols, ds.NumClasses)
+	if verbose {
+		fmt.Printf("dataset %s: %d vertices, %d edges (avg degree %.1f), %d features, %d classes\n",
+			name, ds.G.NumVertices, ds.G.NumEdges, ds.G.AvgDegree(),
+			ds.Features.Cols, ds.NumClasses)
+	}
 
 	mc := model.Config{Hidden: *hidden, NumLayers: *layers, Seed: *seed, AutoTuneAgg: *autotune}
 	if *sockets <= 1 {
@@ -84,6 +133,7 @@ func main() {
 		}
 		fmt.Printf("accuracy: train %.2f%%  val %.2f%%  test %.2f%%\n",
 			100*res.TrainAcc, 100*res.ValAcc, 100*res.TestAcc)
+		checkFiniteLoss(res.Epochs[len(res.Epochs)-1].Loss)
 		if *save != "" {
 			f, err := os.Create(*save)
 			if err != nil {
@@ -101,24 +151,126 @@ func main() {
 		return
 	}
 
+	start := time.Now()
 	res, err := train.Distributed(ds, train.DistConfig{
 		Model: mc, NumPartitions: *sockets, Algo: train.Algorithm(*algo),
 		Delay: *delay, Epochs: *epochs, LR: *lr, WeightDecay: *wd,
 		UseAdam: *adam, Seed: *seed, Workers: *workers,
 		ForceSyncOverlap: *forceSync,
+		Transport:        tr,
 	})
 	if err != nil {
+		killChildren(children)
 		fatal(err)
 	}
-	fmt.Printf("partitioning: replication factor %.2f, edge balance %.3f\n",
-		res.Replication, res.EdgeBalance)
-	for e, st := range res.Epochs {
-		if e%5 == 0 || e == len(res.Epochs)-1 {
-			fmt.Printf("epoch %3d  loss %.4f  sim epoch %.3fms (LAT %.3fms RAT %.3fms)\n",
-				e, st.Loss, st.Epoch*1e3, st.LAT*1e3, st.RAT*1e3)
+	wall := time.Since(start)
+	if verbose {
+		fmt.Printf("partitioning: replication factor %.2f, edge balance %.3f\n",
+			res.Replication, res.EdgeBalance)
+		for e, st := range res.Epochs {
+			if e%5 == 0 || e == len(res.Epochs)-1 {
+				fmt.Printf("epoch %3d  loss %.4f  sim epoch %.3fms (LAT %.3fms RAT %.3fms)\n",
+					e, st.Loss, st.Epoch*1e3, st.LAT*1e3, st.RAT*1e3)
+			}
+		}
+		if tcpMode {
+			fmt.Printf("transport tcp: %d ranks, wall time %.2fs (%.3fs/epoch)\n",
+				*sockets, wall.Seconds(), wall.Seconds()/float64(*epochs))
+		}
+		fmt.Printf("accuracy: train %.2f%%  test %.2f%%\n", 100*res.TrainAcc, 100*res.TestAcc)
+	}
+	checkFiniteLoss(res.Epochs[len(res.Epochs)-1].Loss)
+	if tr != nil {
+		tr.Close()
+	}
+	waitChildren(children)
+}
+
+// setupTCP builds this process's TCP endpoint and, under -spawn-local,
+// forks the nonzero ranks of the fleet (this process trains rank 0). The
+// returned transport is fully established.
+func setupTCP(sockets, rank int, peers, listen, advertise string, spawnLocal bool, timeout time.Duration) (comm.Transport, []*exec.Cmd, error) {
+	var peerList []string
+	if peers != "" {
+		peerList = strings.Split(peers, ",")
+	}
+	if spawnLocal && rank != 0 {
+		return nil, nil, fmt.Errorf("-spawn-local is the rank-0 parent; it cannot run as rank %d", rank)
+	}
+	tr, err := comm.NewTCPTransport(comm.TCPConfig{
+		Rank: rank, N: sockets, Peers: peerList,
+		Listen: listen, Advertise: advertise, Timeout: timeout,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var children []*exec.Cmd
+	if spawnLocal {
+		exe, err := os.Executable()
+		if err != nil {
+			tr.Close()
+			return nil, nil, err
+		}
+		for r := 1; r < sockets; r++ {
+			// Re-exec with the same flags; later flags win in the stdlib
+			// parser, so the per-rank overrides simply append. The parent's
+			// -listen/-advertise are its own addresses — children must not
+			// inherit them (bind collisions, corrupt rendezvous table).
+			args := append(append([]string{}, os.Args[1:]...),
+				"-spawn-local=false", "-transport=tcp",
+				"-listen=", "-advertise=",
+				fmt.Sprintf("-rank=%d", r), "-peers="+tr.Addr())
+			cmd := exec.Command(exe, args...)
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				tr.Close()
+				killChildren(children)
+				return nil, nil, fmt.Errorf("spawn rank %d: %w", r, err)
+			}
+			children = append(children, cmd)
 		}
 	}
-	fmt.Printf("accuracy: train %.2f%%  test %.2f%%\n", 100*res.TrainAcc, 100*res.TestAcc)
+
+	if err := tr.Establish(); err != nil {
+		tr.Close()
+		killChildren(children)
+		return nil, nil, err
+	}
+	return tr, children, nil
+}
+
+// waitChildren reaps spawned ranks and exits nonzero if any rank failed —
+// the whole fleet is one training run.
+func waitChildren(children []*exec.Cmd) {
+	failed := false
+	for _, c := range children {
+		if err := c.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "distgnn-train: spawned rank failed: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func killChildren(children []*exec.Cmd) {
+	for _, c := range children {
+		if c.Process != nil {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}
+}
+
+// checkFiniteLoss turns a numerically diverged run into a nonzero exit —
+// what the CI multi-process smoke asserts on.
+func checkFiniteLoss(loss float64) {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		fatal(fmt.Errorf("training diverged: final loss %v is not finite", loss))
+	}
 }
 
 func fatal(err error) {

@@ -28,6 +28,7 @@ func Ablations() []Experiment {
 		{"abl-mb-dist", "Ablation: distributed mini-batch scaling (§7 future work)", AblationMiniBatchDist},
 		{"abl-reorder", "Ablation: vertex reordering vs AP cache reuse", AblationReorder},
 		{"abl-workers", "Ablation: worker-pool size vs AP/matmul time (OMP_NUM_THREADS)", AblationWorkers},
+		{"abl-transport", "Ablation: in-process vs TCP-loopback comm transport epoch time", AblationTransport},
 	}
 }
 

@@ -25,6 +25,10 @@ type Options struct {
 	Epochs int
 	// Out receives the experiment's table; defaults to os.Stdout upstream.
 	Out io.Writer
+	// JSON, when set, receives a machine-readable report from experiments
+	// that emit one (currently abl-transport — the BENCH_transport.json CI
+	// artifact). Experiments without a JSON form ignore it.
+	JSON io.Writer
 }
 
 func (o *Options) scale() float64 {

@@ -12,6 +12,10 @@ func (w *World) Broadcast(rank, root int, data []float32) {
 	if root < 0 || root >= w.N {
 		panic(fmt.Sprintf("comm: broadcast root %d outside world of %d", root, w.N))
 	}
+	if w.remote() {
+		w.netBroadcast(rank, root, data)
+		return
+	}
 	w.mu.Lock()
 	w.slots[rank] = data
 	w.arriveLocked()
@@ -40,6 +44,9 @@ func (w *World) Broadcast(rank, root int, data []float32) {
 // AllGather concatenates every rank's buffer in rank order; each rank
 // receives the full concatenation. Buffers may have different lengths.
 func (w *World) AllGather(rank int, data []float32) []float32 {
+	if w.remote() {
+		return w.netAllGather(rank, data)
+	}
 	w.mu.Lock()
 	w.slots[rank] = data
 	w.arriveLocked()
@@ -71,6 +78,9 @@ func (w *World) ReduceScatterSum(rank int, data []float32) []float32 {
 	if len(data)%w.N != 0 {
 		panic(fmt.Sprintf("comm: reduce-scatter length %d not divisible by world size %d",
 			len(data), w.N))
+	}
+	if w.remote() {
+		return w.netReduceScatterSum(rank, data)
 	}
 	w.mu.Lock()
 	w.slots[rank] = data

@@ -1,0 +1,203 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"distgnn/internal/quant"
+)
+
+// frame.go is the TCP transport's wire format: a fixed 44-byte
+// length-prefixed header followed by the payload. Everything is
+// little-endian. The 16-bit quant formats are the literal wire encoding —
+// a BF16/FP16 payload crosses the network as the packed words quant.Pack
+// produced, half the bytes of fp32.
+//
+//	offset  size  field
+//	0       4     magic "DGW1"
+//	4       1     kind (data, hello, table, barrier, release)
+//	5       1     precision (quant.FP32 / BF16 / FP16)
+//	6       2     reserved (zero)
+//	8       4     src rank
+//	12      4     dst rank
+//	16      8     tag (two's complement int64)
+//	24      8     readyNs — simulated fabric-completion time
+//	32      8     durNs — full simulated transfer duration
+//	40      4     payload length in bytes
+//	44      …     payload
+const (
+	frameMagic      = "DGW1"
+	frameHeaderSize = 44
+)
+
+// maxFramePayload bounds one frame's payload (1 GiB — a 268M-parameter
+// gradient buffer, far past any model this repo trains) so a corrupt or
+// hostile length prefix fails fast instead of allocating unbounded memory.
+// Oversized sends error at the sender (tcp.go). A variable so the codec
+// tests can exercise the exact boundary without gigabyte allocations;
+// production code never writes it.
+var maxFramePayload uint32 = 1 << 30
+
+// Frame kinds. kindData carries an Envelope; the rest are the transport's
+// control plane (rendezvous and barrier).
+const (
+	kindData    byte = 1
+	kindHello   byte = 2 // registration: src = rank, payload = listen address
+	kindTable   byte = 3 // rendezvous reply: payload = newline-joined rank addresses
+	kindBarrier byte = 4 // barrier arrival at rank 0: tag = generation
+	kindRelease byte = 5 // barrier release from rank 0: tag = generation
+)
+
+// frameHeader is the decoded fixed header.
+type frameHeader struct {
+	Kind       byte
+	Prec       quant.Precision
+	Src, Dst   uint32
+	Tag        int64
+	ReadyNs    int64
+	DurNs      int64
+	PayloadLen uint32
+}
+
+// putFrameHeader encodes h into b (len ≥ frameHeaderSize).
+func putFrameHeader(b []byte, h frameHeader) {
+	copy(b[0:4], frameMagic)
+	b[4] = h.Kind
+	b[5] = byte(h.Prec)
+	b[6], b[7] = 0, 0
+	binary.LittleEndian.PutUint32(b[8:12], h.Src)
+	binary.LittleEndian.PutUint32(b[12:16], h.Dst)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(h.Tag))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(h.ReadyNs))
+	binary.LittleEndian.PutUint64(b[32:40], uint64(h.DurNs))
+	binary.LittleEndian.PutUint32(b[40:44], h.PayloadLen)
+}
+
+// parseFrameHeader decodes and validates the fixed header.
+func parseFrameHeader(b []byte) (frameHeader, error) {
+	var h frameHeader
+	if len(b) < frameHeaderSize {
+		return h, fmt.Errorf("comm: frame header truncated: %d bytes", len(b))
+	}
+	if string(b[0:4]) != frameMagic {
+		return h, fmt.Errorf("comm: bad frame magic %q", b[0:4])
+	}
+	h.Kind = b[4]
+	h.Prec = quant.Precision(b[5])
+	if h.Kind < kindData || h.Kind > kindRelease {
+		return h, fmt.Errorf("comm: unknown frame kind %d", h.Kind)
+	}
+	if b[6] != 0 || b[7] != 0 {
+		return h, fmt.Errorf("comm: nonzero reserved frame bytes %x %x", b[6], b[7])
+	}
+	switch h.Prec {
+	case quant.FP32, quant.BF16, quant.FP16:
+	default:
+		return h, fmt.Errorf("comm: unknown wire precision %d", h.Prec)
+	}
+	h.Src = binary.LittleEndian.Uint32(b[8:12])
+	h.Dst = binary.LittleEndian.Uint32(b[12:16])
+	h.Tag = int64(binary.LittleEndian.Uint64(b[16:24]))
+	h.ReadyNs = int64(binary.LittleEndian.Uint64(b[24:32]))
+	h.DurNs = int64(binary.LittleEndian.Uint64(b[32:40]))
+	h.PayloadLen = binary.LittleEndian.Uint32(b[40:44])
+	if h.PayloadLen > maxFramePayload {
+		return h, fmt.Errorf("comm: frame payload %d exceeds limit %d", h.PayloadLen, maxFramePayload)
+	}
+	elem := 4
+	if h.Prec != quant.FP32 {
+		elem = 2
+	}
+	if h.Kind == kindData && int(h.PayloadLen)%elem != 0 {
+		return h, fmt.Errorf("comm: %v payload length %d not a multiple of %d",
+			h.Prec, h.PayloadLen, elem)
+	}
+	return h, nil
+}
+
+// appendDataFrame encodes one Envelope from src to dst as a complete data
+// frame appended to buf — header plus payload, ready for a single Write.
+func appendDataFrame(buf []byte, src, dst int, env *Envelope) []byte {
+	var plen int
+	if env.Prec == quant.FP32 {
+		plen = 4 * len(env.F32)
+	} else {
+		plen = 2 * len(env.U16)
+	}
+	h := frameHeader{
+		Kind: kindData, Prec: env.Prec,
+		Src: uint32(src), Dst: uint32(dst), Tag: int64(env.Tag),
+		ReadyNs: env.ReadyNs, DurNs: env.DurNs,
+		PayloadLen: uint32(plen),
+	}
+	off := len(buf)
+	buf = append(buf, make([]byte, frameHeaderSize+plen)...)
+	putFrameHeader(buf[off:], h)
+	p := buf[off+frameHeaderSize:]
+	if env.Prec == quant.FP32 {
+		for i, v := range env.F32 {
+			binary.LittleEndian.PutUint32(p[4*i:], math.Float32bits(v))
+		}
+	} else {
+		for i, v := range env.U16 {
+			binary.LittleEndian.PutUint16(p[2*i:], v)
+		}
+	}
+	return buf
+}
+
+// appendControlFrame encodes a control frame (hello/table/barrier/release)
+// with a raw byte payload.
+func appendControlFrame(buf []byte, kind byte, src, dst int, tag int64, payload []byte) []byte {
+	h := frameHeader{
+		Kind: kind, Prec: quant.FP32,
+		Src: uint32(src), Dst: uint32(dst), Tag: tag,
+		PayloadLen: uint32(len(payload)),
+	}
+	off := len(buf)
+	buf = append(buf, make([]byte, frameHeaderSize)...)
+	putFrameHeader(buf[off:], h)
+	return append(buf, payload...)
+}
+
+// envelopeFromFrame decodes a data frame's payload into an Envelope. The
+// header has already been validated by parseFrameHeader.
+func envelopeFromFrame(h frameHeader, payload []byte) *Envelope {
+	env := &Envelope{Tag: int(h.Tag), Prec: h.Prec, ReadyNs: h.ReadyNs, DurNs: h.DurNs}
+	if h.Prec == quant.FP32 {
+		if len(payload) > 0 {
+			env.F32 = make([]float32, len(payload)/4)
+			for i := range env.F32 {
+				env.F32[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+			}
+		}
+	} else if len(payload) > 0 {
+		env.U16 = make([]uint16, len(payload)/2)
+		for i := range env.U16 {
+			env.U16[i] = binary.LittleEndian.Uint16(payload[2*i:])
+		}
+	}
+	return env
+}
+
+// readFrame reads one complete frame — header then payload — from r.
+func readFrame(r io.Reader) (frameHeader, []byte, error) {
+	var hb [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		return frameHeader{}, nil, err
+	}
+	h, err := parseFrameHeader(hb[:])
+	if err != nil {
+		return h, nil, err
+	}
+	if h.PayloadLen == 0 {
+		return h, nil, nil
+	}
+	payload := make([]byte, h.PayloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return h, nil, fmt.Errorf("comm: frame payload truncated: %w", err)
+	}
+	return h, payload, nil
+}

@@ -3,20 +3,20 @@ package comm
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"distgnn/internal/quant"
 )
 
 // p2p.go is the nonblocking point-to-point layer: MPI-style Isend/Irecv
-// returning Request handles with Test/Wait/WaitAll semantics over the same
-// in-process fabric the collectives use. Payloads are copied (and, for
-// 16-bit wire formats, packed) at post time, so a sender's buffer is
-// immediately reusable and the transfer proceeds "in the background"; the
-// α–β cost of the transfer accrues on the simulated clock concurrently with
-// whatever compute the poster charges, and only the un-hidden remainder is
-// charged when the receiver Waits — the accounting that lets cd-rs hide
-// network time behind compute (§6.3).
+// returning Request handles with Test/Wait/WaitAll semantics over the
+// world's Transport — the in-process mailbox or the TCP fabric, identical
+// behavior on both. Payloads are copied (and, for 16-bit wire formats,
+// packed) at post time, so a sender's buffer is immediately reusable and
+// the transfer proceeds "in the background"; the α–β cost of the transfer
+// accrues on the simulated clock concurrently with whatever compute the
+// poster charges, and only the un-hidden remainder is charged when the
+// receiver Waits — the accounting that lets cd-rs hide network time behind
+// compute (§6.3).
 
 // Defined misuse errors: the Request lifecycle is post → (Test)* → Wait,
 // exactly once each side.
@@ -29,31 +29,6 @@ var (
 	ErrAlreadyWaited = errors.New("comm: request already completed by Wait")
 )
 
-// msgKey addresses one directed (sender, receiver, tag) channel. Messages
-// with the same key are matched to receives in FIFO post order.
-type msgKey struct{ src, dst, tag int }
-
-// message is one in-flight payload.
-type message struct {
-	data    []float32 // fp32 payload (nil when packed)
-	wire    []uint16  // 16-bit packed payload (nil for fp32)
-	prec    quant.Precision
-	readyNs int64 // simulated fabric-completion time (sender clock base)
-	durNs   int64 // full α+bytes/β transfer duration
-}
-
-// mailbox holds every rank's pending messages, keyed by (src, dst, tag).
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queues map[msgKey][]*message
-}
-
-func (mb *mailbox) init() {
-	mb.cond = sync.NewCond(&mb.mu)
-	mb.queues = make(map[msgKey][]*message)
-}
-
 // Request is a handle on one nonblocking operation. The zero value is not
 // posted; only Isend/Irecv produce live requests.
 type Request struct {
@@ -65,6 +40,7 @@ type Request struct {
 	data    []float32 // completed receive payload
 	exposed float64   // un-hidden network seconds charged at Wait
 	durNs   int64     // send side: full transfer duration
+	err     error     // send side: transport failure, surfaced at Wait
 }
 
 // ConfigureAsync attaches the α–β cost model used to account nonblocking
@@ -94,8 +70,9 @@ func (w *World) Isend(from, to, tag int, data []float32) *Request {
 
 // IsendPacked is Isend with the payload packed into the 16-bit wire format
 // at post time — compression rides the request path, off the critical path
-// of the compute the transfer overlaps. The receiver's Wait unpacks, so it
-// observes exactly RoundSlice(data). FP32 falls back to Isend.
+// of the compute the transfer overlaps, and on the TCP fabric the packed
+// words are the literal bytes on the wire. The receiver's Wait unpacks, so
+// it observes exactly RoundSlice(data). FP32 falls back to Isend.
 func (w *World) IsendPacked(from, to, tag int, data []float32, p quant.Precision) *Request {
 	return w.post(from, to, tag, data, p)
 }
@@ -103,21 +80,28 @@ func (w *World) IsendPacked(from, to, tag int, data []float32, p quant.Precision
 func (w *World) post(from, to, tag int, data []float32, p quant.Precision) *Request {
 	w.checkRank("Isend source", from)
 	w.checkRank("Isend destination", to)
-	m := &message{prec: p}
+	w.checkSelf("Isend", from)
+	env := &Envelope{Tag: tag, Prec: p}
 	if p == quant.FP32 {
-		m.data = append([]float32(nil), data...)
+		if w.remote() && to != w.self {
+			// A remote peer's Send serializes the buffer before returning
+			// (the Transport contract), so the caller's slice needs no
+			// defensive copy — the wire encode is the only copy.
+			env.F32 = data
+		} else {
+			// In-process (and remote self-sends) enqueue the envelope
+			// as-is; copy so the sender's buffer is immediately reusable.
+			env.F32 = append([]float32(nil), data...)
+		}
 	} else {
-		m.wire = p.Pack(make([]uint16, 0, len(data)), data)
+		env.U16 = p.Pack(make([]uint16, 0, len(data)), data)
 	}
 	if w.asyncCost != nil {
-		m.readyNs, m.durNs = w.asyncCost.PostXfer(from, len(data)*p.Bytes())
+		env.ReadyNs, env.DurNs = w.asyncCost.PostXfer(from, len(data)*p.Bytes())
 	}
-	key := msgKey{src: from, dst: to, tag: tag}
-	w.boxes.mu.Lock()
-	w.boxes.queues[key] = append(w.boxes.queues[key], m)
-	w.boxes.mu.Unlock()
-	w.boxes.cond.Broadcast()
-	return &Request{w: w, rank: from, key: key, done: false, durNs: m.durNs}
+	err := w.tr.Send(from, to, env)
+	return &Request{w: w, rank: from, key: msgKey{src: from, dst: to, tag: tag},
+		durNs: env.DurNs, err: err}
 }
 
 // Irecv posts a nonblocking receive on `rank` for the next message rank
@@ -125,6 +109,7 @@ func (w *World) post(from, to, tag int, data []float32, p quant.Precision) *Requ
 func (w *World) Irecv(rank, from, tag int) *Request {
 	w.checkRank("Irecv rank", rank)
 	w.checkRank("Irecv source", from)
+	w.checkSelf("Irecv", rank)
 	return &Request{w: w, recv: true, rank: rank,
 		key: msgKey{src: from, dst: rank, tag: tag}}
 }
@@ -143,9 +128,8 @@ func (r *Request) Test() (bool, error) {
 	if !r.recv {
 		return true, nil
 	}
-	r.w.boxes.mu.Lock()
-	defer r.w.boxes.mu.Unlock()
-	return len(r.w.boxes.queues[r.key]) > 0, nil
+	_, ok, err := r.w.tr.Poll(r.key.dst, r.key.src, r.key.tag)
+	return ok, err
 }
 
 // TestHidden reports whether Wait would complete immediately AND charge
@@ -165,15 +149,9 @@ func (r *Request) TestHidden() (bool, error) {
 	if !r.recv {
 		return true, nil
 	}
-	mb := &r.w.boxes
-	mb.mu.Lock()
-	var m *message
-	if q := mb.queues[r.key]; len(q) > 0 {
-		m = q[0]
-	}
-	mb.mu.Unlock()
-	if m == nil {
-		return false, nil
+	env, ok, err := r.w.tr.Poll(r.key.dst, r.key.src, r.key.tag)
+	if err != nil || !ok {
+		return false, err
 	}
 	cm := r.w.asyncCost
 	if cm == nil {
@@ -182,14 +160,16 @@ func (r *Request) TestHidden() (bool, error) {
 	if r.w.forceSync {
 		return false, nil
 	}
-	return cm.clockNs(r.rank) >= m.readyNs, nil
+	return cm.clockNs(r.rank) >= env.ReadyNs, nil
 }
 
 // Wait blocks until the operation completes and returns the received
 // payload (nil for sends). For receives with a cost model attached, Wait
 // charges this rank only the part of the α+bytes/β transfer that the
 // rank's compute since the post did not hide — or the full term under
-// forceSync. A request may be waited exactly once.
+// forceSync. A request may be waited exactly once. On a transport with
+// deadlines (TCP), a receive nothing arrives for fails with an error
+// wrapping ErrTimeout instead of blocking forever.
 func (r *Request) Wait() ([]float32, error) {
 	if r.w == nil {
 		return nil, ErrNotPosted
@@ -199,32 +179,23 @@ func (r *Request) Wait() ([]float32, error) {
 	}
 	r.done = true
 	if !r.recv {
-		return nil, nil
+		return nil, r.err
 	}
-	mb := &r.w.boxes
-	mb.mu.Lock()
-	for len(mb.queues[r.key]) == 0 {
-		mb.cond.Wait()
+	env, err := r.w.tr.Recv(r.key.dst, r.key.src, r.key.tag)
+	if err != nil {
+		return nil, err
 	}
-	q := mb.queues[r.key]
-	m := q[0]
-	if len(q) == 1 {
-		delete(mb.queues, r.key)
-	} else {
-		mb.queues[r.key] = q[1:]
-	}
-	mb.mu.Unlock()
 
-	if m.prec == quant.FP32 {
-		r.data = m.data
+	if env.Prec == quant.FP32 {
+		r.data = env.F32
 	} else {
-		r.data = m.prec.Unpack(make([]float32, 0, len(m.wire)), m.wire)
+		r.data = env.Prec.Unpack(make([]float32, 0, len(env.U16)), env.U16)
 	}
 	if cm := r.w.asyncCost; cm != nil {
 		if r.w.forceSync {
-			r.exposed = cm.WaitXferForced(r.rank, m.durNs)
+			r.exposed = cm.WaitXferForced(r.rank, env.DurNs)
 		} else {
-			r.exposed = cm.WaitXfer(r.rank, m.readyNs)
+			r.exposed = cm.WaitXfer(r.rank, env.ReadyNs)
 		}
 	}
 	return r.data, nil

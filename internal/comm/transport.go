@@ -1,0 +1,261 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"distgnn/internal/quant"
+)
+
+// transport.go defines the pluggable comm fabric under World: framed
+// point-to-point send/recv of optionally quant-packed messages plus rank
+// bootstrap and barrier. Two implementations exist: the in-process mailbox
+// (procTransport, below — every rank a goroutine in one process, PR 2's
+// fabric refactored behind the interface) and the TCP transport (tcp.go —
+// every rank its own OS process, loopback or LAN). The Request machinery
+// and the transport-backed collectives run identically on both, which is
+// what lets the conformance harness pin bit-identical training across
+// substrates.
+
+// AllRanks is the Self value of a transport that hosts every rank of the
+// world inside one process (the in-process mailbox). Single-rank endpoints
+// return their own rank instead.
+const AllRanks = -1
+
+// Fabric failure errors. Transport operations that cannot complete return
+// errors wrapping one of these, so callers can distinguish a peer that is
+// slow (ErrTimeout, deadline-based) from a fabric that is gone (ErrClosed).
+var (
+	// ErrTimeout marks an operation that exceeded the transport's configured
+	// deadline: a peer that never dialed in, a receive nothing arrived for,
+	// a barrier a rank never reached.
+	ErrTimeout = errors.New("comm: deadline exceeded")
+	// ErrClosed marks operations on a transport after Close, or after a
+	// connection failure tore the fabric down.
+	ErrClosed = errors.New("comm: transport closed")
+)
+
+// Envelope is one framed message: the payload of an Isend (fp32, or
+// quant-packed 16-bit words — the packed words are the literal wire format
+// on TCP) plus the simulated α–β fabric metadata that rides along so the
+// receiver's overlap accounting sees the sender's completion time.
+type Envelope struct {
+	Tag  int
+	Prec quant.Precision
+	// F32 is the fp32 payload (Prec == quant.FP32); U16 the 16-bit packed
+	// payload otherwise. Exactly one is non-nil for non-empty payloads.
+	F32 []float32
+	U16 []uint16
+	// ReadyNs/DurNs are the sender's simulated fabric-completion time and
+	// full transfer duration (costmodel.go); zero without a cost model.
+	ReadyNs, DurNs int64
+}
+
+// Transport is a pluggable point-to-point comm fabric over a fixed world
+// of N ranks.
+//
+// Semantics every implementation provides:
+//   - Messages between one (from, to, tag) triple are delivered in FIFO
+//     post order.
+//   - Send does not block on the receiver (buffered-send semantics); for
+//     to != Self the envelope's buffers are fully serialized before Send
+//     returns, while self-delivery enqueues the envelope as-is, so callers
+//     that will mutate a buffer after a self-send must copy it first.
+//   - Recv blocks until a matching envelope arrives, the transport's
+//     deadline expires (ErrTimeout), or the fabric fails (ErrClosed).
+//   - Poll never consumes: it reports the head matching envelope, if any.
+//   - Barrier blocks the calling rank until all N ranks enter it.
+type Transport interface {
+	// Size is the world size N.
+	Size() int
+	// Self is the rank this endpoint hosts, or AllRanks when the transport
+	// hosts every rank in one process.
+	Self() int
+	Send(from, to int, env *Envelope) error
+	Recv(to, from, tag int) (*Envelope, error)
+	Poll(to, from, tag int) (*Envelope, bool, error)
+	Barrier(rank int) error
+	Close() error
+}
+
+// msgKey addresses one directed (sender, receiver, tag) channel.
+type msgKey struct{ src, dst, tag int }
+
+// mailbox holds pending envelopes keyed by (src, dst, tag) — the matching
+// structure both transports deliver into (the TCP reader goroutines
+// demultiplex inbound frames into one of these).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][]*Envelope
+	err    error // whole-fabric failure (Close): fails every waiter
+	// srcErr scopes a single connection's failure to receives from that
+	// peer: a rank that finished its run and closed cleanly must not abort
+	// this rank's in-progress exchanges with everyone else.
+	srcErr map[int]error
+}
+
+func (mb *mailbox) init() {
+	mb.cond = sync.NewCond(&mb.mu)
+	mb.queues = make(map[msgKey][]*Envelope)
+	mb.srcErr = make(map[int]error)
+}
+
+func (mb *mailbox) push(key msgKey, env *Envelope) {
+	mb.mu.Lock()
+	mb.queues[key] = append(mb.queues[key], env)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// fail marks the whole fabric broken and wakes every waiter.
+func (mb *mailbox) fail(err error) {
+	mb.mu.Lock()
+	if mb.err == nil {
+		mb.err = err
+	}
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// failSrc marks one peer's connection broken: only receives from that peer
+// fail (once their queues drain), everything else proceeds.
+func (mb *mailbox) failSrc(src int, err error) {
+	mb.mu.Lock()
+	if mb.srcErr[src] == nil {
+		mb.srcErr[src] = err
+	}
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// recv dequeues the next envelope for key, blocking up to timeout
+// (0 = forever). sync.Cond cannot time out, so a timer broadcast wakes the
+// wait loop to observe the deadline.
+func (mb *mailbox) recv(key msgKey, timeout time.Duration) (*Envelope, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer := time.AfterFunc(timeout, func() {
+			// Broadcast under the lock: any waiter that saw the deadline as
+			// unexpired is parked in Wait before this fires.
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		// Queued envelopes outrank a fabric failure: a peer that sent its
+		// last message and exited is a completed protocol, not an error —
+		// its data must stay consumable after the connection drops.
+		if q := mb.queues[key]; len(q) > 0 {
+			env := q[0]
+			if len(q) == 1 {
+				delete(mb.queues, key)
+			} else {
+				mb.queues[key] = q[1:]
+			}
+			return env, nil
+		}
+		if err := mb.waitErr(key); err != nil {
+			return nil, fmt.Errorf("comm: recv from rank %d tag %d at rank %d: %w",
+				key.src, key.tag, key.dst, err)
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("comm: recv from rank %d tag %d at rank %d timed out after %v: %w",
+				key.src, key.tag, key.dst, timeout, ErrTimeout)
+		}
+		mb.cond.Wait()
+	}
+}
+
+// poll peeks the head envelope for key without consuming it.
+func (mb *mailbox) poll(key msgKey) (*Envelope, bool, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if q := mb.queues[key]; len(q) > 0 {
+		return q[0], true, nil
+	}
+	return nil, false, mb.waitErr(key)
+}
+
+// waitErr returns the error that makes waiting for key futile: the fabric
+// is down, or this key's source connection is. Caller holds mb.mu.
+func (mb *mailbox) waitErr(key msgKey) error {
+	if mb.err != nil {
+		return mb.err
+	}
+	return mb.srcErr[key.src]
+}
+
+// procTransport is the in-process fabric: every rank a goroutine in this
+// process, delivery straight through the shared mailbox, barrier a
+// sense-reversing counter. It is PR 2's mailbox behind the Transport
+// interface — no serialization, no deadlines (in-process delivery cannot
+// stall on a peer), zero behavior change.
+type procTransport struct {
+	n   int
+	box mailbox
+
+	barMu   sync.Mutex
+	barCond *sync.Cond
+	arrived int
+	phase   int64
+}
+
+// NewProcTransport builds the in-process mailbox fabric over n ranks.
+// NewWorld wraps it automatically; it is exported for symmetry with the
+// TCP transport and for transport-generic tests.
+func NewProcTransport(n int) Transport {
+	if n < 1 {
+		panic(fmt.Sprintf("comm: world size must be ≥1, got %d", n))
+	}
+	t := &procTransport{n: n}
+	t.box.init()
+	t.barCond = sync.NewCond(&t.barMu)
+	return t
+}
+
+func (t *procTransport) Size() int { return t.n }
+func (t *procTransport) Self() int { return AllRanks }
+
+func (t *procTransport) Send(from, to int, env *Envelope) error {
+	t.box.push(msgKey{src: from, dst: to, tag: env.Tag}, env)
+	return nil
+}
+
+func (t *procTransport) Recv(to, from, tag int) (*Envelope, error) {
+	return t.box.recv(msgKey{src: from, dst: to, tag: tag}, 0)
+}
+
+func (t *procTransport) Poll(to, from, tag int) (*Envelope, bool, error) {
+	return t.box.poll(msgKey{src: from, dst: to, tag: tag})
+}
+
+// Barrier is a reusable sense-reversing barrier across all n ranks.
+func (t *procTransport) Barrier(int) error {
+	t.barMu.Lock()
+	defer t.barMu.Unlock()
+	phase := t.phase
+	t.arrived++
+	if t.arrived == t.n {
+		t.arrived = 0
+		t.phase++
+		t.barCond.Broadcast()
+		return nil
+	}
+	for t.phase == phase {
+		t.barCond.Wait()
+	}
+	return nil
+}
+
+func (t *procTransport) Close() error {
+	t.box.fail(ErrClosed)
+	return nil
+}

@@ -1,11 +1,12 @@
 // Package comm provides the communication substrate DistGNN gets from
 // torch.distributed + OneCCL in the paper: a fixed-size world of ranks
-// (one per simulated CPU socket) with point-to-point messaging, AlltoAllV
-// and AllReduce collectives, and async send queues. Ranks run as goroutines
-// in one process and exchange real data over channels, so the distributed
-// algorithms execute their true data flow; a separate α–β cost model
-// (costmodel.go) accounts the wall-clock such traffic would cost on a
-// cluster fabric.
+// (one per CPU socket) with point-to-point messaging, AlltoAllV and
+// AllReduce collectives, and async send queues — over a pluggable
+// Transport. In-process mode runs every rank as a goroutine exchanging
+// real data through a shared mailbox, with a separate α–β cost model
+// (costmodel.go) accounting the wall-clock such traffic would cost on a
+// cluster fabric; TCP mode (tcp.go) runs each rank as its own OS process
+// over a real network, same World API, bit-identical collective results.
 package comm
 
 import (
@@ -18,37 +19,84 @@ import (
 // World is a communicator over N ranks. All collective operations are
 // synchronous across the full world and deterministic: reductions are
 // applied in rank order regardless of arrival order, so distributed runs
-// are bit-reproducible.
+// are bit-reproducible — on the in-process fabric and over TCP alike.
 type World struct {
 	N int
+
+	// self is AllRanks when this World hosts every rank in-process;
+	// otherwise the single rank this endpoint represents.
+	self int
+	tr   Transport
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	arrived int
 	phase   int64
-	// collective scratch: per-rank contribution slots.
+	// collective scratch: per-rank contribution slots (in-process mode).
 	slots [][]float32
 	mats  [][][]float32
+	// collSeq reserves a fresh negative tag per collective on a
+	// transport-backed endpoint (collectives_net.go). User p2p tags are
+	// non-negative, so the spaces never collide.
+	collSeq int
 
 	// nonblocking point-to-point state (p2p.go).
-	boxes     mailbox
 	asyncCost *CostModel
 	forceSync bool
 }
 
-// NewWorld creates a communicator over n ranks.
+// NewWorld creates an in-process communicator over n ranks: every rank a
+// goroutine in this process, collectives through shared memory, p2p
+// through the in-process mailbox transport.
 func NewWorld(n int) *World {
 	if n < 1 {
 		panic(fmt.Sprintf("comm: world size must be ≥1, got %d", n))
 	}
-	w := &World{N: n, slots: make([][]float32, n), mats: make([][][]float32, n)}
+	w := &World{N: n, self: AllRanks, tr: NewProcTransport(n),
+		slots: make([][]float32, n), mats: make([][][]float32, n)}
 	w.cond = sync.NewCond(&w.mu)
-	w.boxes.init()
 	return w
+}
+
+// NewWorldTransport wraps a single-rank Transport endpoint (one OS process
+// per rank, e.g. a TCPTransport) in a World. Collectives run over the
+// transport's point-to-point fabric with the same rank-ordered float
+// reductions as the in-process World, so results are bit-identical.
+func NewWorldTransport(t Transport) *World {
+	if t.Self() == AllRanks {
+		panic("comm: NewWorldTransport needs a single-rank endpoint; use NewWorld for the in-process fabric")
+	}
+	w := &World{N: t.Size(), self: t.Self(), tr: t}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Transport returns the fabric under this world.
+func (w *World) Transport() Transport { return w.tr }
+
+// Self returns the rank this endpoint hosts, or AllRanks for the
+// in-process world.
+func (w *World) Self() int { return w.self }
+
+// remote reports whether this World is a single-rank transport endpoint.
+func (w *World) remote() bool { return w.self != AllRanks }
+
+// checkSelf panics if a remote endpoint is driven as a rank it does not
+// host — on the in-process world every rank is local, so any is fine.
+func (w *World) checkSelf(op string, rank int) {
+	if w.remote() && rank != w.self {
+		panic(fmt.Sprintf("comm: %s as rank %d on an endpoint hosting rank %d", op, rank, w.self))
+	}
 }
 
 // Barrier blocks until all N ranks have called it.
 func (w *World) Barrier() {
+	if w.remote() {
+		if err := w.tr.Barrier(w.self); err != nil {
+			panic(err)
+		}
+		return
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.arriveLocked()
@@ -74,6 +122,10 @@ func (w *World) arriveLocked() {
 // holds the total on return. Reduction is in rank order for determinism.
 // All ranks must pass equal-length buffers.
 func (w *World) AllReduceSum(rank int, data []float32) {
+	if w.remote() {
+		w.netAllReduceSum(rank, data)
+		return
+	}
 	w.mu.Lock()
 	w.slots[rank] = data
 	w.arriveLocked()
@@ -121,6 +173,9 @@ func (w *World) AlltoAllV(rank int, send [][]float32) [][]float32 {
 		panic(fmt.Sprintf("comm: AlltoAllV rank %d passed %d buffers, world size %d",
 			rank, len(send), w.N))
 	}
+	if w.remote() {
+		return w.netAlltoAllV(rank, send)
+	}
 	w.mu.Lock()
 	w.mats[rank] = send
 	w.arriveLocked()
@@ -150,8 +205,12 @@ func (w *World) AlltoAllV(rank int, send [][]float32) [][]float32 {
 // barriers, so each needs a dedicated goroutine — they run on a
 // parallel.Group rather than the bounded kernel pool, which re-raises the
 // first panic (if any) after all goroutines settle so tests fail cleanly
-// rather than deadlock.
+// rather than deadlock. Only the in-process world can host every rank; a
+// transport endpoint panics.
 func (w *World) Run(fn func(rank int)) {
+	if w.remote() {
+		panic(fmt.Sprintf("comm: Run on an endpoint hosting only rank %d — drive that rank directly", w.self))
+	}
 	var g parallel.Group
 	for r := 0; r < w.N; r++ {
 		rank := r

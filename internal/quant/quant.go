@@ -1,10 +1,14 @@
 // Package quant implements the low-precision wire formats the paper's §7
 // names as future work for cutting DistGNN's communication volume: BF16
 // (bfloat16) and FP16 (IEEE half). Partial aggregates are rounded through
-// the 16-bit format before they cross the simulated fabric, halving the
-// bytes moved; the distributed trainer exposes this via
+// the 16-bit format before they cross the fabric, halving the bytes
+// moved; the distributed trainer exposes this via
 // train.DistConfig.CommPrecision and the ablation harness measures the
-// accuracy impact.
+// accuracy impact. On the in-process fabric the packed words halve the
+// *accounted* volume; on the TCP transport they are the literal bytes on
+// the wire (comm's frame codec ships Pack's output and the receiver runs
+// Unpack), so the fuzz/property tests here are guarding a real wire
+// format.
 package quant
 
 import "math"

@@ -73,6 +73,17 @@ type DistConfig struct {
 	// Workers sizes the process-wide kernel worker pool shared by all
 	// simulated ranks — the OMP_NUM_THREADS knob. 0 keeps the current pool.
 	Workers int
+	// Transport selects the comm fabric. Nil (the default) runs every rank
+	// as a goroutine in this process over the in-process mailbox. A
+	// single-rank endpoint (e.g. comm.TCPTransport) turns this process into
+	// exactly one rank of a true multi-process run: the trainer executes
+	// only that rank and carries the cross-rank reductions the in-process
+	// driver does in shared memory (gradient AllReduce, loss sum, per-phase
+	// timing max) over the fabric instead — with identical rank-ordered
+	// float reductions, so parameters are bit-identical across transports.
+	// Every process must pass identical DistConfig and dataset; Size() must
+	// equal NumPartitions.
+	Transport comm.Transport
 }
 
 // DistEpochStat is one epoch of simulated-cluster timing plus the training
@@ -199,13 +210,26 @@ type delivery struct {
 // epoch by epoch; the cd-rs conformance harness drives it manually so it
 // can snapshot parameters between epochs.
 type distState struct {
-	cfg         DistConfig
-	pt          *partition.Partitioning
-	ranks       []*rankCtx
-	world       *comm.World
+	cfg   DistConfig
+	pt    *partition.Partitioning
+	ranks []*rankCtx
+	world *comm.World
+	// local is comm.AllRanks when this process hosts every rank; otherwise
+	// the single rank this process runs (remote.go drives that mode).
+	local       int
 	lossParts   []float64
 	globalTrain int
 	testIdx     []int32
+}
+
+// hostRank returns a rank context this process actually hosts — rank 0
+// in-process, the local rank on a transport endpoint. Model-replica-wide
+// values (parameter counts) are identical on every rank.
+func (s *distState) hostRank() *rankCtx {
+	if s.local != comm.AllRanks {
+		return s.ranks[s.local]
+	}
+	return s.ranks[0]
 }
 
 // newDistState validates and defaults cfg, partitions the graph, and builds
@@ -257,6 +281,18 @@ func newDistState(ds *datasets.Dataset, cfg DistConfig) (*distState, error) {
 	mc.DropoutP = 0
 	cfg.Model = mc
 
+	local := comm.AllRanks
+	if cfg.Transport != nil {
+		if cfg.Transport.Size() != cfg.NumPartitions {
+			return nil, fmt.Errorf("train: transport world size %d != NumPartitions %d",
+				cfg.Transport.Size(), cfg.NumPartitions)
+		}
+		local = cfg.Transport.Self()
+		if local == comm.AllRanks {
+			return nil, fmt.Errorf("train: Transport must be a single-rank endpoint; leave nil for the in-process fabric")
+		}
+	}
+
 	pt, err := partition.Partition(ds.G, cfg.Partitioner, cfg.NumPartitions, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -267,14 +303,19 @@ func newDistState(ds *datasets.Dataset, cfg DistConfig) (*distState, error) {
 	}
 	plans := buildXPlans(pt, bins)
 
-	ranks, err := setupRanks(ds, &cfg, pt, plans)
+	var world *comm.World
+	if local == comm.AllRanks {
+		world = comm.NewWorld(cfg.NumPartitions)
+	} else {
+		world = comm.NewWorldTransport(cfg.Transport)
+	}
+	ranks, err := setupRanks(ds, &cfg, pt, plans, world, local)
 	if err != nil {
 		return nil, err
 	}
-	world := ranks[0].world
 	world.ConfigureAsync(cfg.Net, cfg.ForceSyncOverlap)
 	return &distState{
-		cfg: cfg, pt: pt, ranks: ranks, world: world,
+		cfg: cfg, pt: pt, ranks: ranks, world: world, local: local,
 		lossParts:   make([]float64, cfg.NumPartitions),
 		globalTrain: len(ds.TrainIdx),
 		testIdx:     ds.TestIdx,
@@ -284,6 +325,9 @@ func newDistState(ds *datasets.Dataset, cfg DistConfig) (*distState, error) {
 // runEpoch executes one full training epoch across all ranks and returns
 // its simulated timing plus the global training loss.
 func (s *distState) runEpoch(epoch int) DistEpochStat {
+	if s.local != comm.AllRanks {
+		return s.runEpochRemote(epoch)
+	}
 	cfg := &s.cfg
 	if cfg.Algo == AlgoCDRS {
 		// The previous epoch's gradient AllReduce is a barrier: align the
@@ -292,40 +336,7 @@ func (s *distState) runEpoch(epoch int) DistEpochStat {
 		cfg.Net.SyncClocks()
 	}
 	s.world.Run(func(rank int) {
-		r := s.ranks[rank]
-		r.resetCounters()
-		r.installHooks(epoch)
-
-		logits := r.model.Forward(r.x, true)
-		loss, dlogits := nn.MaskedCrossEntropy(logits, r.labels, r.ownedTrain)
-		// Re-weight the local mean into the global mean's share.
-		scale := float32(0)
-		if s.globalTrain > 0 {
-			scale = float32(len(r.ownedTrain)) / float32(s.globalTrain)
-		}
-		dlogits.Scale(scale)
-		s.lossParts[rank] = loss * float64(len(r.ownedTrain))
-
-		params := r.model.Params()
-		nn.ZeroGrads(params)
-		r.model.Backward(dlogits)
-
-		switch cfg.Algo {
-		case AlgoCDR:
-			r.delayedExchange(epoch)
-		case AlgoCDRS:
-			r.overlappedExchange(epoch)
-		}
-
-		// Parameter gradient AllReduce (sum of per-rank global-mean
-		// shares = global mean) keeps all model replicas identical. The
-		// flattened buffer is recycled across epochs and ranks.
-		gbuf := gradScratch.Get(nn.TotalElements(params))
-		nn.FlattenParamsInto(gbuf, params, true)
-		s.world.AllReduceSum(rank, gbuf)
-		nn.UnflattenParams(params, gbuf, true)
-		gradScratch.Put(gbuf)
-		r.optStep()
+		s.lossParts[rank] = s.trainEpochRank(s.ranks[rank], epoch)
 	})
 
 	st := timeEpoch(cfg, s.ranks)
@@ -339,27 +350,80 @@ func (s *distState) runEpoch(epoch int) DistEpochStat {
 	return st
 }
 
+// trainEpochRank executes one rank's epoch body: forward, loss scaling,
+// backward, the algorithm's exchange, the gradient AllReduce, and the
+// optimizer step. BOTH epoch drivers — the in-process world and the
+// multi-process transport endpoint — run exactly this function, so the
+// cross-transport bit-identity invariant cannot drift between them.
+// Returns the rank's share of the global loss sum.
+func (s *distState) trainEpochRank(r *rankCtx, epoch int) float64 {
+	cfg := &s.cfg
+	r.resetCounters()
+	r.installHooks(epoch)
+
+	logits := r.model.Forward(r.x, true)
+	loss, dlogits := nn.MaskedCrossEntropy(logits, r.labels, r.ownedTrain)
+	// Re-weight the local mean into the global mean's share.
+	scale := float32(0)
+	if s.globalTrain > 0 {
+		scale = float32(len(r.ownedTrain)) / float32(s.globalTrain)
+	}
+	dlogits.Scale(scale)
+	lossPart := loss * float64(len(r.ownedTrain))
+
+	params := r.model.Params()
+	nn.ZeroGrads(params)
+	r.model.Backward(dlogits)
+
+	switch cfg.Algo {
+	case AlgoCDR:
+		r.delayedExchange(epoch)
+	case AlgoCDRS:
+		r.overlappedExchange(epoch)
+	}
+
+	// Parameter gradient AllReduce (sum of per-rank global-mean
+	// shares = global mean) keeps all model replicas identical. The
+	// flattened buffer is recycled across epochs and ranks.
+	gbuf := gradScratch.Get(nn.TotalElements(params))
+	nn.FlattenParamsInto(gbuf, params, true)
+	s.world.AllReduceSum(r.id, gbuf)
+	nn.UnflattenParams(params, gbuf, true)
+	gradScratch.Put(gbuf)
+	r.optStep()
+	return lossPart
+}
+
+// evalRank scores one rank's owned vertices, returning correct-prediction
+// counts. Shared by both evaluate drivers for the same reason as
+// trainEpochRank.
+func (s *distState) evalRank(r *rankCtx) (trainC, testC float64) {
+	r.installHooks(s.cfg.Epochs) // stale buffers (cd-r/cd-rs) / sync exchange (cd-0) still apply
+	logits := r.model.Forward(r.x, false)
+	pred := make([]int, logits.Rows)
+	logits.ArgmaxRows(pred)
+	for _, v := range r.ownedTrain {
+		if int32(pred[v]) == r.labels[v] {
+			trainC++
+		}
+	}
+	for _, v := range r.ownedTest {
+		if int32(pred[v]) == r.labels[v] {
+			testC++
+		}
+	}
+	return trainC, testC
+}
+
 // evaluate scores every rank's owned vertices and returns global train/test
 // accuracy.
 func (s *distState) evaluate() (trainAcc, testAcc float64) {
+	if s.local != comm.AllRanks {
+		return s.evaluateRemote()
+	}
 	accs := make([][2]float64, s.cfg.NumPartitions) // {trainCorrect, testCorrect}
 	s.world.Run(func(rank int) {
-		r := s.ranks[rank]
-		r.installHooks(s.cfg.Epochs) // stale buffers (cd-r/cd-rs) / sync exchange (cd-0) still apply
-		logits := r.model.Forward(r.x, false)
-		pred := make([]int, logits.Rows)
-		logits.ArgmaxRows(pred)
-		var trainC, testC float64
-		for _, v := range r.ownedTrain {
-			if int32(pred[v]) == r.labels[v] {
-				trainC++
-			}
-		}
-		for _, v := range r.ownedTest {
-			if int32(pred[v]) == r.labels[v] {
-				testC++
-			}
-		}
+		trainC, testC := s.evalRank(s.ranks[rank])
 		accs[rank] = [2]float64{trainC, testC}
 	})
 	var trainC, testC float64
@@ -387,7 +451,7 @@ func Distributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error) {
 		Replication: s.pt.ReplicationFactor(),
 		SplitFrac:   s.pt.SplitVertexFraction(),
 		EdgeBalance: s.pt.EdgeBalance(),
-		NumParams:   s.ranks[0].model.NumParams(),
+		NumParams:   s.hostRank().model.NumParams(),
 		Epochs:      make([]DistEpochStat, s.cfg.Epochs),
 	}
 	for epoch := 0; epoch < s.cfg.Epochs; epoch++ {

@@ -12,9 +12,14 @@ import (
 // setupRanks builds every rank's local dataset slice, model replica,
 // optimizer and cd-r buffers. All replicas share one model seed so initial
 // weights are identical, and the gradient AllReduce keeps them identical.
-func setupRanks(ds *datasets.Dataset, cfg *DistConfig, pt *partition.Partitioning, plans []*xplan) ([]*rankCtx, error) {
+// When local != comm.AllRanks — a multi-process run where this process is
+// exactly one rank — only that rank's context is built (the rest stay
+// nil); the global structures (vertex ownership, partitioning, exchange
+// plans) are still derived identically in every process, which is what
+// keeps the fleet's replicas in lockstep.
+func setupRanks(ds *datasets.Dataset, cfg *DistConfig, pt *partition.Partitioning,
+	plans []*xplan, world *comm.World, local int) ([]*rankCtx, error) {
 	k := cfg.NumPartitions
-	world := comm.NewWorld(k)
 
 	// Owner of each global vertex: root clone of split vertices, the only
 	// clone otherwise.
@@ -23,11 +28,10 @@ func setupRanks(ds *datasets.Dataset, cfg *DistConfig, pt *partition.Partitionin
 		owner[v] = -1
 	}
 	for p := 0; p < k; p++ {
-		for local, g := range pt.Parts[p].GlobalID {
+		for _, g := range pt.Parts[p].GlobalID {
 			if owner[g] == -1 {
 				owner[g] = int32(p)
 			}
-			_ = local
 		}
 	}
 	for _, sv := range pt.Splits {
@@ -49,6 +53,9 @@ func setupRanks(ds *datasets.Dataset, cfg *DistConfig, pt *partition.Partitionin
 
 	ranks := make([]*rankCtx, k)
 	for p := 0; p < k; p++ {
+		if local != comm.AllRanks && p != local {
+			continue
+		}
 		part := pt.Parts[p]
 		nLocal := part.NumLocal()
 
@@ -117,6 +124,9 @@ func setupRanks(ds *datasets.Dataset, cfg *DistConfig, pt *partition.Partitionin
 	// Per-rank optimizers (identical hyperparameters; identical gradients
 	// after AllReduce ⇒ identical weight trajectories).
 	for _, r := range ranks {
+		if r == nil {
+			continue
+		}
 		if cfg.UseAdam {
 			r.opt = nn.NewAdam(cfg.LR, cfg.WeightDecay)
 		} else {
@@ -216,6 +226,21 @@ func (r *rankCtx) countSend(rows, d int) {
 	r.netMsgs++
 }
 
+// countConcatSend counts one concatenated-across-layers buffer of the
+// given row count: staging and wire volume for every layer, but a single
+// message — the α latency term must match the one frame that actually
+// crosses the fabric, not the number of layer blocks inside it.
+func (r *rankCtx) countConcatSend(rows int) {
+	if rows == 0 {
+		return
+	}
+	for _, d := range r.aggDims {
+		r.gatherBytes += int64(rows*d) * 4
+		r.netBytes += int64(rows*d) * int64(r.cfg.CommPrecision.Bytes())
+	}
+	r.netMsgs++
+}
+
 // cdrForwardHook is the per-layer forward hook of the DRPA algorithm:
 // capture this epoch's fresh local partials for the active bin, then apply
 // the stale remote contributions received in earlier epochs. cd-rs shares
@@ -271,8 +296,8 @@ func (r *rankCtx) delayedExchange(epoch int) {
 		var buf []float32
 		for l := range r.aggDims {
 			buf = append(buf, packRows(r.captures[l], rows)...)
-			r.countSend(len(rows), r.aggDims[l])
 		}
+		r.countConcatSend(len(rows))
 		send[peer] = r.cfg.CommPrecision.RoundSlice(buf)
 	}
 	recv := r.world.AlltoAllV(r.id, send)
@@ -328,8 +353,8 @@ func (r *rankCtx) delayedExchange(epoch int) {
 					}
 				}
 				buf = append(buf, chunk...)
-				r.countSend(len(rows), d)
 			}
+			r.countConcatSend(len(rows))
 			send[peer] = append(send[peer], r.cfg.CommPrecision.RoundSlice(buf)...)
 		}
 	}

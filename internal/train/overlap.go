@@ -45,6 +45,17 @@ type totReq struct {
 func tagPartial(epoch, numLayers, layer int) int { return (epoch*numLayers + layer) << 1 }
 func tagTotal(epoch int) int                     { return epoch<<1 | 1 }
 
+// waitSend retires a send request immediately: sends complete at post time
+// (buffered semantics), so the Wait is free — its only job is surfacing a
+// transport failure (a TCP write error, an oversized frame) at the sender
+// with the real cause, instead of as a misleading receive timeout on the
+// peer a minute later.
+func (r *rankCtx) waitSend(req *comm.Request) {
+	if _, err := req.Wait(); err != nil {
+		panic(err)
+	}
+}
+
 // cdrsForwardHook is cd-r's forward hook with the exchange posted inline:
 // capture the bin's fresh partials, ship this layer's rows immediately so
 // the transfer rides under the remaining layers' compute, reel in already
@@ -62,7 +73,7 @@ func (r *rankCtx) cdrsForwardHook(layer int, agg *tensor.Matrix, bin, epoch int)
 	for peer := 0; peer < r.world.N; peer++ {
 		if rows := r.plan.leafSend[bin][peer]; len(rows) > 0 {
 			payload := packRows(r.captures[layer], rows)
-			r.world.IsendPacked(r.id, peer, tag, payload, r.cfg.CommPrecision)
+			r.waitSend(r.world.IsendPacked(r.id, peer, tag, payload, r.cfg.CommPrecision))
 			r.countSend(len(rows), r.aggDims[layer])
 		}
 		if len(r.plan.rootRecv[bin][peer]) > 0 {
@@ -163,9 +174,9 @@ func (r *rankCtx) overlappedExchange(epoch int) {
 					}
 				}
 				buf = append(buf, chunk...)
-				r.countSend(len(rows), d)
 			}
-			r.world.IsendPacked(r.id, peer, tagTotal(epoch), buf, r.cfg.CommPrecision)
+			r.countConcatSend(len(rows))
+			r.waitSend(r.world.IsendPacked(r.id, peer, tagTotal(epoch), buf, r.cfg.CommPrecision))
 		}
 	}
 

@@ -38,32 +38,53 @@ func (r *rankCtx) mlpWorkMACs() int64 {
 	return 3 * fwd
 }
 
+// rankPhaseSeconds converts one rank's epoch counters into its simulated
+// phase times. Both epoch drivers use it: the in-process one maxes across
+// all ranks in shared memory (timeEpoch), the multi-process one gathers
+// every rank's values over the fabric (gatherEpochStat in remote.go).
+func rankPhaseSeconds(cfg *DistConfig, r *rankCtx) (lat, bwd, mlp, rat, exposed float64) {
+	lat = cfg.Compute.AggSeconds(r.aggWorkElems())
+	bwd = lat // backward propagates gradients over the same edges
+	mlp = cfg.Compute.MLPSeconds(r.mlpWorkMACs())
+
+	rat = float64(r.gatherBytes) / cfg.Net.MemBandwidth
+	switch cfg.Algo {
+	case AlgoCD0, AlgoCDR:
+		// Synchronous exchange exposes the network time: cd-0 blocks at
+		// every layer, cd-r's AlltoAllV blocks at the epoch boundary
+		// (on 1/Delay of the volume).
+		rat += float64(r.netMsgs)*cfg.Net.NetLatency +
+			float64(r.netBytes)/cfg.Net.NetBandwidth
+	case AlgoCDRS:
+		// Overlapped exchange: only the remainder compute failed to
+		// hide, as accounted at each Wait.
+		rat += r.exposedNet
+		exposed = r.exposedNet
+	}
+	return lat, bwd, mlp, rat, exposed
+}
+
+// paramSyncSeconds models the per-epoch gradient AllReduce: a ring over K
+// ranks of the flattened parameter buffer.
+func paramSyncSeconds(cfg *DistConfig, numParams int) float64 {
+	if cfg.NumPartitions <= 1 {
+		return 0
+	}
+	bytes := numParams * 4
+	steps := float64(2 * (cfg.NumPartitions - 1))
+	return steps*cfg.Net.NetLatency +
+		steps*float64(bytes)/float64(cfg.NumPartitions)/cfg.Net.NetBandwidth
+}
+
 // timeEpoch aggregates per-rank counters into the epoch's simulated timing:
 // the slowest rank bounds each phase (bulk-synchronous execution).
 func timeEpoch(cfg *DistConfig, ranks []*rankCtx) DistEpochStat {
 	var st DistEpochStat
 	for _, r := range ranks {
-		lat := cfg.Compute.AggSeconds(r.aggWorkElems())
-		bwd := lat // backward propagates gradients over the same edges
-		mlp := cfg.Compute.MLPSeconds(r.mlpWorkMACs())
-
-		rat := float64(r.gatherBytes) / cfg.Net.MemBandwidth
-		switch cfg.Algo {
-		case AlgoCD0, AlgoCDR:
-			// Synchronous exchange exposes the network time: cd-0 blocks at
-			// every layer, cd-r's AlltoAllV blocks at the epoch boundary
-			// (on 1/Delay of the volume).
-			rat += float64(r.netMsgs)*cfg.Net.NetLatency +
-				float64(r.netBytes)/cfg.Net.NetBandwidth
-		case AlgoCDRS:
-			// Overlapped exchange: only the remainder compute failed to
-			// hide, as accounted at each Wait.
-			rat += r.exposedNet
-			if r.exposedNet > st.ExposedNet {
-				st.ExposedNet = r.exposedNet
-			}
+		lat, bwd, mlp, rat, exposed := rankPhaseSeconds(cfg, r)
+		if exposed > st.ExposedNet {
+			st.ExposedNet = exposed
 		}
-
 		if lat > st.LAT {
 			st.LAT = lat
 		}
@@ -77,13 +98,7 @@ func timeEpoch(cfg *DistConfig, ranks []*rankCtx) DistEpochStat {
 			st.RAT = rat
 		}
 	}
-	// Parameter AllReduce: ring over K ranks of the gradient buffer.
-	if cfg.NumPartitions > 1 {
-		bytes := ranks[0].model.NumParams() * 4
-		steps := float64(2 * (cfg.NumPartitions - 1))
-		st.ParamSync = steps*cfg.Net.NetLatency +
-			steps*float64(bytes)/float64(cfg.NumPartitions)/cfg.Net.NetBandwidth
-	}
+	st.ParamSync = paramSyncSeconds(cfg, ranks[0].model.NumParams())
 	st.Epoch = st.LAT + st.BwdAgg + st.MLP + st.RAT + st.ParamSync
 	return st
 }

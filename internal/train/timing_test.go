@@ -33,7 +33,7 @@ func buildRanksForTiming(t *testing.T, k int, algo Algorithm) (*DistConfig, []*r
 	if algo == AlgoCDR || algo == AlgoCDRS {
 		bins = cfg.Delay
 	}
-	ranks, err := setupRanks(ds, &cfg, pt, buildXPlans(pt, bins))
+	ranks, err := setupRanks(ds, &cfg, pt, buildXPlans(pt, bins), comm.NewWorld(k), comm.AllRanks)
 	if err != nil {
 		t.Fatal(err)
 	}

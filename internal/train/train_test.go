@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"distgnn/internal/comm"
 	"distgnn/internal/datasets"
 	"distgnn/internal/model"
 	"distgnn/internal/partition"
@@ -279,7 +280,7 @@ func TestOwnershipPartitionsVertices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ranks, err := setupRanks(ds, &cfg, pt, buildXPlans(pt, 1))
+	ranks, err := setupRanks(ds, &cfg, pt, buildXPlans(pt, 1), comm.NewWorld(4), comm.AllRanks)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,197 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distgnn/internal/comm"
+	"distgnn/internal/datasets"
+	"distgnn/internal/quant"
+)
+
+// transport_conformance_test.go extends PR 2's conformance harness across
+// comm substrates: the same trainer config driven as one in-process world
+// and as a fleet of single-rank TCP endpoints over loopback — each
+// endpoint its own distState with only its rank materialized, exactly the
+// state a separate OS process would build — must produce bit-identical
+// parameters and losses at every epoch. In-process conformance
+// (conformance_test.go) pins cd-rs ≡ cd-r; this file pins {cd-r, cd-rs} ×
+// {in-process, TCP}.
+
+// tcpFleetRun trains a loopback TCP fleet and returns rank 0's per-epoch
+// losses and parameter snapshots plus the final test accuracy.
+func tcpFleetRun(t *testing.T, ds *datasets.Dataset, cfg DistConfig) (losses []float64, params [][]float32, testAcc float64) {
+	t.Helper()
+	eps, err := comm.NewLoopbackTCP(cfg.NumPartitions, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+
+	losses = make([]float64, cfg.Epochs)
+	params = make([][]float32, cfg.Epochs)
+	errs := make([]error, cfg.NumPartitions)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.NumPartitions; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("rank %d panicked: %v", r, p)
+				}
+			}()
+			rcfg := cfg
+			rcfg.Transport = eps[r]
+			s, err := newDistState(ds, rcfg)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			for e := 0; e < cfg.Epochs; e++ {
+				st := s.runEpoch(e)
+				if r == 0 {
+					losses[e] = st.Loss
+					params[e] = snapshotParams(t, s, 0)
+				}
+			}
+			_, acc := s.evaluate()
+			if r == 0 {
+				testAcc = acc
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("tcp rank %d: %v", r, err)
+		}
+	}
+	return losses, params, testAcc
+}
+
+// TestTransportConformance: cd-r and cd-rs at 2 and 4 ranks, fp32 and the
+// packed 16-bit wire, train bit-identical parameters over loopback TCP and
+// the in-process mailbox. The transport is a substrate change, never an
+// arithmetic one.
+func TestTransportConformance(t *testing.T) {
+	ds := testDataset(t)
+	const epochs, delay = 5, 2
+	for _, tc := range []struct {
+		sockets int
+		algo    Algorithm
+		prec    quant.Precision
+	}{
+		{2, AlgoCDR, quant.FP32},
+		{4, AlgoCDR, quant.FP32},
+		{2, AlgoCDRS, quant.FP32},
+		{4, AlgoCDRS, quant.FP32},
+		{2, AlgoCDR, quant.BF16},
+		{4, AlgoCDR, quant.BF16},
+		{2, AlgoCDRS, quant.BF16},
+		{4, AlgoCDRS, quant.FP16},
+	} {
+		cfg := DistConfig{
+			Model: smallModel(), NumPartitions: tc.sockets, Algo: tc.algo,
+			Delay: delay, Epochs: epochs, LR: 0.05, UseAdam: true, Seed: 9,
+			CommPrecision: tc.prec,
+		}
+
+		ref, err := newDistState(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refLoss := make([]float64, epochs)
+		refParams := make([][]float32, epochs)
+		for e := 0; e < epochs; e++ {
+			st := ref.runEpoch(e)
+			refLoss[e] = st.Loss
+			refParams[e] = snapshotParams(t, ref, 0)
+		}
+		_, refAcc := ref.evaluate()
+
+		tcpLoss, tcpParams, tcpAcc := tcpFleetRun(t, ds, cfg)
+
+		for e := 0; e < epochs; e++ {
+			if refLoss[e] != tcpLoss[e] {
+				t.Fatalf("k=%d %s %v epoch %d: loss %v (in-process) vs %v (tcp)",
+					tc.sockets, tc.algo, tc.prec, e, refLoss[e], tcpLoss[e])
+			}
+			for i := range refParams[e] {
+				if refParams[e][i] != tcpParams[e][i] {
+					t.Fatalf("k=%d %s %v epoch %d: param[%d] %v (in-process) vs %v (tcp)",
+						tc.sockets, tc.algo, tc.prec, e, i, refParams[e][i], tcpParams[e][i])
+				}
+			}
+		}
+		if refAcc != tcpAcc {
+			t.Fatalf("k=%d %s %v: test acc %v (in-process) vs %v (tcp)",
+				tc.sockets, tc.algo, tc.prec, refAcc, tcpAcc)
+		}
+	}
+}
+
+// TestDistributedOverTCPEndpoint: the packaged Distributed loop accepts a
+// transport endpoint and trains the rank — the production entry point
+// cmd/distgnn-train uses in -transport tcp mode — and its results match
+// the fully in-process loop.
+func TestDistributedOverTCPEndpoint(t *testing.T) {
+	ds := testDataset(t)
+	base := DistConfig{
+		Model: smallModel(), NumPartitions: 2, Algo: AlgoCDRS, Delay: 2,
+		Epochs: 4, LR: 0.05, UseAdam: true, Seed: 9,
+	}
+	ref, err := Distributed(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eps, err := comm.NewLoopbackTCP(2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	results := make([]*DistResult, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Transport = eps[r]
+			results[r], errs[r] = Distributed(ds, cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, res := range results {
+		for e := range ref.Epochs {
+			if res.Epochs[e].Loss != ref.Epochs[e].Loss {
+				t.Fatalf("rank %d epoch %d: loss %v vs in-process %v",
+					r, e, res.Epochs[e].Loss, ref.Epochs[e].Loss)
+			}
+		}
+		if res.TestAcc != ref.TestAcc || res.TrainAcc != ref.TrainAcc {
+			t.Fatalf("rank %d: acc %v/%v vs in-process %v/%v",
+				r, res.TrainAcc, res.TestAcc, ref.TrainAcc, ref.TestAcc)
+		}
+		if res.NumParams != ref.NumParams {
+			t.Fatalf("rank %d: NumParams %d vs %d", r, res.NumParams, ref.NumParams)
+		}
+	}
+}
