@@ -1,0 +1,147 @@
+// Command distgnn-serve answers online inference queries against a trained
+// distgnn-train checkpoint over HTTP: per-vertex class predictions and
+// final-layer embeddings, with request coalescing into micro-batches and a
+// concurrent byte-budgeted feature/embedding cache.
+//
+// The dataset flags must regenerate (or load) the graph the checkpoint was
+// trained on, and -arch/-hidden/-layers/-heads must match the trainer's
+// flags — distgnn-train prints them next to "checkpoint written", and this
+// command fails fast on any mismatch.
+//
+// Examples:
+//
+//	distgnn-train -dataset reddit-sim -scale 0.5 -epochs 50 -save ckpt.dgnp
+//	distgnn-serve -checkpoint ckpt.dgnp -dataset reddit-sim -scale 0.5
+//	curl 'localhost:8399/predict?vertex=17'
+//	curl 'localhost:8399/embed?vertex=17'
+//	curl 'localhost:8399/stats'
+//
+// By default inference is exact (full k-hop neighborhoods — bit-identical
+// to a full-graph forward pass of the trained model); -fanouts switches to
+// DGL-style sampled neighborhoods for latency at scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"distgnn/internal/datasets"
+	"distgnn/internal/graphio"
+	"distgnn/internal/parallel"
+	"distgnn/internal/serve"
+)
+
+func main() {
+	checkpoint := flag.String("checkpoint", "", "trained model parameters written by distgnn-train -save (required)")
+	dataset := flag.String("dataset", "reddit-sim",
+		"dataset name: "+strings.Join(datasets.Names(), ", "))
+	scale := flag.Float64("scale", 0.5, "dataset scale factor (must match training)")
+	file := flag.String("file", "", "load a dataset file written by distgnn-datagen instead of generating")
+	arch := flag.String("arch", "graphsage", "checkpoint architecture: graphsage or gat")
+	hidden := flag.Int("hidden", 64, "hidden layer width (must match training)")
+	layers := flag.Int("layers", 3, "number of layers (must match training)")
+	heads := flag.Int("heads", 1, "gat: attention heads per layer (must match training)")
+	outDim := flag.Int("out-dim", 0,
+		"checkpoint output width when it differs from the dataset's class count (e.g. gat trained with classes padded to a -heads multiple); 0 = class count")
+	fanouts := flag.String("fanouts", "",
+		"comma-separated per-layer neighbor fanouts for sampled inference (e.g. 15,10,5); empty = exact full neighborhoods")
+	addr := flag.String("addr", "127.0.0.1:8399", "HTTP listen address")
+	maxBatch := flag.Int("max-batch", 16, "request coalescer: max queries per micro-batch (1 disables coalescing)")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "request coalescer: max time a query waits for batch mates")
+	featCacheMB := flag.Float64("feature-cache-mb", 64, "gathered-feature cache budget in MB (0 disables)")
+	embCacheMB := flag.Float64("embed-cache-mb", 16, "final-layer embedding cache budget in MB (0 disables)")
+	workers := flag.Int("workers", 0,
+		"kernel worker-pool size, the OMP_NUM_THREADS analogue (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *checkpoint == "" {
+		fatal(fmt.Errorf("-checkpoint is required (train one with: distgnn-train -save model.dgnp)"))
+	}
+	if *workers > 0 {
+		parallel.Configure(parallel.Config{Workers: *workers})
+	}
+
+	var ds *datasets.Dataset
+	var err error
+	name := *dataset
+	if *file != "" {
+		f, ferr := os.Open(*file)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		ds, err = graphio.ReadDataset(f)
+		f.Close()
+		name = *file
+	} else {
+		ds, err = datasets.Load(*dataset, *scale)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fo, err := parseFanouts(*fanouts)
+	if err != nil {
+		fatal(err)
+	}
+
+	ckpt, err := os.Open(*checkpoint)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(ds, ckpt, serve.Config{
+		Arch:              serve.Arch(*arch),
+		Hidden:            *hidden,
+		NumLayers:         *layers,
+		NumHeads:          *heads,
+		OutDim:            *outDim,
+		Fanouts:           fo,
+		MaxBatch:          *maxBatch,
+		MaxWait:           *maxWait,
+		FeatureCacheBytes: int64(*featCacheMB * (1 << 20)),
+		EmbedCacheBytes:   int64(*embCacheMB * (1 << 20)),
+	})
+	ckpt.Close()
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	fmt.Printf("dataset %s: %d vertices, %d edges (avg degree %.1f), %d features, %d classes\n",
+		name, ds.G.NumVertices, ds.G.NumEdges, ds.G.AvgDegree(),
+		ds.Features.Cols, ds.NumClasses)
+	fmt.Printf("model %s from %s, inference mode %s\n",
+		srv.Engine().Spec(), *checkpoint, srv.Engine().Mode())
+	fmt.Printf("coalescer: max batch %d, max wait %v; caches: features %.0f MB, embeddings %.0f MB\n",
+		*maxBatch, *maxWait, *featCacheMB, *embCacheMB)
+	fmt.Printf("serving /predict /embed /stats /healthz on http://%s\n", *addr)
+
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func parseFanouts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -fanouts %q: each entry must be a positive integer", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distgnn-serve:", err)
+	os.Exit(1)
+}

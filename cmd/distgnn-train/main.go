@@ -146,7 +146,16 @@ func main() {
 			if err := f.Close(); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("checkpoint written to %s\n", *save)
+			// Print the hyperparameters the serving side must repeat —
+			// distgnn-serve fails fast when they disagree with the file.
+			fmt.Printf("checkpoint written to %s (arch graphsage, in %d, hidden %d, layers %d, out %d)\n",
+				*save, ds.Features.Cols, *hidden, *layers, ds.NumClasses)
+			dsFlags := fmt.Sprintf("-dataset %s -scale %g", *dataset, *scale)
+			if *file != "" {
+				dsFlags = "-file " + *file
+			}
+			fmt.Printf("serve it with: distgnn-serve -checkpoint %s %s -hidden %d -layers %d\n",
+				*save, dsFlags, *hidden, *layers)
 		}
 		return
 	}

@@ -26,8 +26,9 @@ type Options struct {
 	// Out receives the experiment's table; defaults to os.Stdout upstream.
 	Out io.Writer
 	// JSON, when set, receives a machine-readable report from experiments
-	// that emit one (currently abl-transport — the BENCH_transport.json CI
-	// artifact). Experiments without a JSON form ignore it.
+	// that emit one (abl-transport → BENCH_transport.json, abl-serve →
+	// BENCH_serve.json CI artifacts). Experiments without a JSON form
+	// ignore it.
 	JSON io.Writer
 }
 

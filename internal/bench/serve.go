@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"distgnn/internal/datasets"
+	"distgnn/internal/model"
+	"distgnn/internal/nn"
+	"distgnn/internal/serve"
+	"distgnn/internal/train"
+)
+
+// serve.go is the abl-serve ablation: closed-loop clients hammer a real
+// HTTP serving instance over loopback, sweeping the two mechanisms that
+// make the serving path production-shaped — request coalescing (batch
+// window × max batch) and the concurrent feature/embedding cache budget —
+// across client concurrency levels. Reported per arm: p50/p95/p99 request
+// latency and sustained QPS. With Options.JSON set the rows land in
+// BENCH_serve.json (a CI artifact), including the two derived headline
+// numbers: coalesced-vs-batch-of-1 QPS gain at concurrency 8 and
+// warm-vs-cold cache p50 ratio.
+
+const (
+	serveBenchHidden   = 16
+	serveBenchLayers   = 2
+	serveBenchMaxBatch = 8
+	serveBenchMaxWait  = time.Millisecond
+	serveBenchCacheMB  = 64
+	serveBenchRequests = 192 // total per arm, split across clients
+	serveBenchWorkSet  = 128 // distinct vertices clients draw from
+)
+
+// ServeBenchRow is one (concurrency, batching, cache) measurement.
+type ServeBenchRow struct {
+	Concurrency    int     `json:"concurrency"`
+	MaxBatch       int     `json:"max_batch"`
+	MaxWaitMS      float64 `json:"max_wait_ms"`
+	CacheMB        float64 `json:"cache_mb"`
+	Warm           bool    `json:"warm"`
+	Requests       int     `json:"requests"`
+	QPS            float64 `json:"qps"`
+	P50MS          float64 `json:"p50_ms"`
+	P95MS          float64 `json:"p95_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	AvgBatch       float64 `json:"avg_batch"`
+	DedupSaved     int64   `json:"dedup_saved"`
+	EmbedHitRate   float64 `json:"embed_hit_rate"`
+	FeatureHitRate float64 `json:"feature_hit_rate"`
+}
+
+// ServeBenchReport is the BENCH_serve.json schema.
+type ServeBenchReport struct {
+	Experiment string          `json:"experiment"`
+	Scale      float64         `json:"scale"`
+	Mode       string          `json:"mode"`
+	Results    []ServeBenchRow `json:"results"`
+	// CoalescingQPSGainC8 is coalesced QPS / batch-of-1 QPS at concurrency
+	// 8, cold caches — the batching lever (must exceed 1).
+	CoalescingQPSGainC8 float64 `json:"coalescing_qps_gain_c8"`
+	// WarmOverColdP50 is warm-cache p50 / cold-cache p50 at concurrency 8,
+	// coalesced — the cache lever (must be below 1).
+	WarmOverColdP50 float64 `json:"warm_over_cold_p50"`
+}
+
+// AblationServe measures the serving path's two levers end to end.
+func AblationServe(opt Options) error {
+	ds, err := loadDataset("reddit-sim", opt.scale())
+	if err != nil {
+		return err
+	}
+	res, err := train.SingleSocket(ds, train.SingleConfig{
+		Model:  model.Config{Hidden: serveBenchHidden, NumLayers: serveBenchLayers, Seed: 1},
+		Epochs: opt.epochs(5), LR: 0.02, UseAdam: true,
+	})
+	if err != nil {
+		return err
+	}
+	var ckpt bytes.Buffer
+	if err := nn.WriteParams(&ckpt, res.Model.Params()); err != nil {
+		return err
+	}
+
+	workSet := make([]int32, min(serveBenchWorkSet, ds.G.NumVertices))
+	step := ds.G.NumVertices / len(workSet)
+	if step < 1 {
+		step = 1
+	}
+	for i := range workSet {
+		workSet[i] = int32((i * step) % ds.G.NumVertices)
+	}
+
+	report := ServeBenchReport{Experiment: "abl-serve", Scale: opt.scale(), Mode: "exact"}
+	t := &table{header: []string{"clients", "batching", "cache", "QPS", "p50", "p95", "p99", "avg batch", "emb hit"}}
+	for _, conc := range []int{1, 8} {
+		for _, batching := range []bool{false, true} {
+			for _, warm := range []bool{false, true} {
+				cfg := serve.Config{
+					Arch: serve.ArchGraphSAGE, Hidden: serveBenchHidden, NumLayers: serveBenchLayers,
+					MaxBatch: 1,
+				}
+				if batching {
+					cfg.MaxBatch = serveBenchMaxBatch
+					cfg.MaxWait = serveBenchMaxWait
+				}
+				if warm {
+					cfg.FeatureCacheBytes = serveBenchCacheMB << 20
+					cfg.EmbedCacheBytes = serveBenchCacheMB << 20
+				}
+				row, err := runServeArm(ds, ckpt.Bytes(), cfg, conc, workSet, warm)
+				if err != nil {
+					return err
+				}
+				report.Results = append(report.Results, row)
+				batchLabel := "batch-of-1"
+				if batching {
+					batchLabel = fmt.Sprintf("coalesce(%d,%v)", serveBenchMaxBatch, serveBenchMaxWait)
+				}
+				cacheLabel := "cold"
+				if warm {
+					cacheLabel = fmt.Sprintf("warm %dMB", serveBenchCacheMB)
+				}
+				t.add(fmt.Sprint(conc), batchLabel, cacheLabel,
+					fmt.Sprintf("%.0f", row.QPS),
+					fmt.Sprintf("%.2fms", row.P50MS), fmt.Sprintf("%.2fms", row.P95MS),
+					fmt.Sprintf("%.2fms", row.P99MS),
+					f2(row.AvgBatch), pct(row.EmbedHitRate))
+			}
+		}
+	}
+	t.write(opt.Out)
+
+	lookup := func(conc, maxBatch int, warm bool) *ServeBenchRow {
+		for i := range report.Results {
+			r := &report.Results[i]
+			if r.Concurrency == conc && r.MaxBatch == maxBatch && r.Warm == warm {
+				return r
+			}
+		}
+		return nil
+	}
+	if b1 := lookup(8, 1, false); b1 != nil {
+		if co := lookup(8, serveBenchMaxBatch, false); co != nil && b1.QPS > 0 {
+			report.CoalescingQPSGainC8 = co.QPS / b1.QPS
+		}
+	}
+	if cold := lookup(8, serveBenchMaxBatch, false); cold != nil {
+		if warm := lookup(8, serveBenchMaxBatch, true); warm != nil && cold.P50MS > 0 {
+			report.WarmOverColdP50 = warm.P50MS / cold.P50MS
+		}
+	}
+	fmt.Fprintf(opt.Out, "\ncoalescing QPS gain @8 clients: %.2fx (want >1)   warm/cold p50: %.2f (want <1)\n",
+		report.CoalescingQPSGainC8, report.WarmOverColdP50)
+
+	if opt.JSON != nil {
+		enc := json.NewEncoder(opt.JSON)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	return nil
+}
+
+// runServeArm stands up one serving instance, optionally pre-warms its
+// caches with one pass over the working set, then runs closed-loop clients
+// and collects the latency distribution.
+func runServeArm(ds *datasets.Dataset, ckpt []byte, cfg serve.Config, concurrency int,
+	workSet []int32, warm bool) (ServeBenchRow, error) {
+	srv, err := serve.New(ds, bytes.NewReader(ckpt), cfg)
+	if err != nil {
+		return ServeBenchRow{}, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	query := func(v int32) error {
+		resp, err := client.Get(fmt.Sprintf("%s/predict?vertex=%d", ts.URL, v))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("abl-serve: /predict status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if warm {
+		for _, v := range workSet {
+			if err := query(v); err != nil {
+				return ServeBenchRow{}, err
+			}
+		}
+	}
+
+	perClient := serveBenchRequests / concurrency
+	latencies := make([][]time.Duration, concurrency)
+	errs := make([]error, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			lat := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				v := workSet[rng.Intn(len(workSet))]
+				t0 := time.Now()
+				if err := query(v); err != nil {
+					errs[c] = err
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServeBenchRow{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	st := srv.StatsSnapshot()
+	row := ServeBenchRow{
+		Concurrency: concurrency,
+		MaxBatch:    cfg.MaxBatch,
+		MaxWaitMS:   float64(cfg.MaxWait) / float64(time.Millisecond),
+		CacheMB:     float64(cfg.EmbedCacheBytes) / (1 << 20),
+		Warm:        warm,
+		Requests:    len(all),
+		QPS:         float64(len(all)) / elapsed.Seconds(),
+		P50MS:       percentileMS(all, 0.50),
+		P95MS:       percentileMS(all, 0.95),
+		P99MS:       percentileMS(all, 0.99),
+		AvgBatch:    st.Coalescer.AvgBatch,
+		DedupSaved:  st.Coalescer.DedupSaved,
+	}
+	row.EmbedHitRate = st.EmbeddingCache.HitRate()
+	row.FeatureHitRate = st.FeatureCache.HitRate()
+	return row, nil
+}
+
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

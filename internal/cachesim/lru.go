@@ -5,71 +5,46 @@
 // exact access stream of the blocked kernel (Alg. 2) through an LRU cache
 // and reports those counters, standing in for the hardware performance
 // counters the authors used.
+//
+// The eviction machinery itself lives in the generic Core so the online
+// serving path (internal/serve) shares one LRU implementation with the
+// simulator.
 package cachesim
 
-import "container/list"
-
 // LRU is a fully associative least-recently-used cache with a byte-capacity
-// budget and variable-size entries (one entry per feature vector).
+// budget and variable-size entries (one entry per feature vector). It
+// tracks residency only — the simulator never stores payloads.
 type LRU struct {
-	capacity int
-	used     int
-	order    *list.List // front = most recent; values are *entry
-	index    map[uint64]*list.Element
-}
-
-type entry struct {
-	key  uint64
-	size int
+	core *Core[uint64, struct{}]
 }
 
 // NewLRU creates a cache holding up to capacityBytes of entries.
 func NewLRU(capacityBytes int) *LRU {
-	return &LRU{
-		capacity: capacityBytes,
-		order:    list.New(),
-		index:    make(map[uint64]*list.Element),
-	}
+	return &LRU{core: NewCore[uint64, struct{}](capacityBytes)}
 }
 
 // Access touches key, inserting it with the given size on a miss and
 // evicting LRU entries to fit. Returns whether the access hit. Entries
 // larger than the whole cache are never resident (every access misses).
 func (c *LRU) Access(key uint64, size int) bool {
-	if el, ok := c.index[key]; ok {
-		c.order.MoveToFront(el)
+	if _, ok := c.core.Get(key); ok {
 		return true
 	}
-	if size > c.capacity {
-		return false
-	}
-	for c.used+size > c.capacity {
-		back := c.order.Back()
-		ev := back.Value.(*entry)
-		c.order.Remove(back)
-		delete(c.index, ev.key)
-		c.used -= ev.size
-	}
-	c.index[key] = c.order.PushFront(&entry{key: key, size: size})
-	c.used += size
+	c.core.Put(key, struct{}{}, size)
 	return false
 }
 
 // Contains reports residency without touching recency.
 func (c *LRU) Contains(key uint64) bool {
-	_, ok := c.index[key]
+	_, ok := c.core.Peek(key)
 	return ok
 }
 
 // Used returns the bytes currently resident.
-func (c *LRU) Used() int { return c.used }
+func (c *LRU) Used() int { return c.core.Used() }
 
 // Len returns the number of resident entries.
-func (c *LRU) Len() int { return c.order.Len() }
+func (c *LRU) Len() int { return c.core.Len() }
 
 // Reset evicts everything.
-func (c *LRU) Reset() {
-	c.order.Init()
-	c.index = make(map[uint64]*list.Element)
-	c.used = 0
-}
+func (c *LRU) Reset() { c.core.Reset() }

@@ -3,6 +3,7 @@ package datasets
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -178,9 +179,26 @@ func TestRegistryLoadsAllDatasets(t *testing.T) {
 	}
 }
 
+// TestRegistryUnknownName pins Load's error contract: an unknown dataset
+// name must fail (not panic) with a message that names the offender and
+// lists every registered dataset, so a CLI typo is self-diagnosing.
 func TestRegistryUnknownName(t *testing.T) {
-	if _, err := Load("no-such-dataset", 1); err == nil {
+	_, err := Load("no-such-dataset", 1)
+	if err == nil {
 		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "no-such-dataset") {
+		t.Fatalf("error does not name the unknown dataset: %v", err)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error does not list registered dataset %q: %v", name, err)
+		}
+	}
+	// SpecFor is the same path the CLIs use for usage strings.
+	if _, err := SpecFor("no-such-dataset", 1); err == nil {
+		t.Fatal("SpecFor must reject unknown names too")
 	}
 }
 

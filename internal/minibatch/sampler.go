@@ -28,6 +28,17 @@ type Block struct {
 // NumSampledEdges returns the number of sampled (src→dst) pairs.
 func (b *Block) NumSampledEdges() int { return len(b.Indices) }
 
+// Norms returns the GCN normalization 1/(1+deg) per destination, where deg
+// is the block's per-dst edge count. For a full-neighborhood block this is
+// exactly the global-degree norm the full-batch model uses.
+func (b *Block) Norms() []float32 {
+	norms := make([]float32, b.NumDst)
+	for i := range norms {
+		norms[i] = 1 / float32(1+b.Indptr[i+1]-b.Indptr[i])
+	}
+	return norms
+}
+
 // Sample is one sampled mini-batch: per-hop frontiers of global vertex IDs
 // (Frontiers[0] = seeds) and the bipartite blocks connecting them.
 // Blocks[h] aggregates Frontiers[h+1] into Frontiers[h].
@@ -103,6 +114,56 @@ func (s *Sampler) expand(dst []int32, fanout int) (*Block, []int32) {
 		picked := samplePick(s.Rng, len(nbr), fanout)
 		for _, p := range picked {
 			blk.Indices = append(blk.Indices, intern(nbr[p]))
+		}
+		blk.Indptr[i+1] = int32(len(blk.Indices))
+	}
+	blk.NumSrc = len(next)
+	return blk, next
+}
+
+// FullSample expands seeds through hops layers of *full* in-neighborhoods —
+// the exact-inference analogue of Sampler.Sample used by the serving path.
+// Every in-neighbor is included, enumerated in CSR order, so that block
+// aggregation over the result reproduces the full-graph aggregation
+// kernel's per-destination summation order bit for bit (the unblocked
+// kernel and Alg. 3's reordered variant both accumulate each output element
+// sequentially over the CSR neighbor list).
+func FullSample(g *graph.CSR, seeds []int32, hops int) *Sample {
+	out := &Sample{}
+	out.Frontiers = append(out.Frontiers, append([]int32(nil), seeds...))
+	cur := out.Frontiers[0]
+	for h := 0; h < hops; h++ {
+		blk, next := expandFull(g, cur)
+		out.Blocks = append(out.Blocks, blk)
+		out.Frontiers = append(out.Frontiers, next)
+		cur = next
+	}
+	return out
+}
+
+// expandFull is Sampler.expand with every in-neighbor taken: dst vertices
+// are interned first (the DGL dst ⊆ src prefix convention), then each dst's
+// full CSR neighbor list in order.
+func expandFull(g *graph.CSR, dst []int32) (*Block, []int32) {
+	local := make(map[int32]int32, 2*len(dst))
+	var next []int32
+	intern := func(gv int32) int32 {
+		if id, ok := local[gv]; ok {
+			return id
+		}
+		id := int32(len(next))
+		next = append(next, gv)
+		local[gv] = id
+		return id
+	}
+	blk := &Block{NumDst: len(dst), SelfIdx: make([]int32, len(dst))}
+	for i, gv := range dst {
+		blk.SelfIdx[i] = intern(gv)
+	}
+	blk.Indptr = make([]int32, len(dst)+1)
+	for i, gv := range dst {
+		for _, u := range g.InNeighbors(int(gv)) {
+			blk.Indices = append(blk.Indices, intern(u))
 		}
 		blk.Indptr[i+1] = int32(len(blk.Indices))
 	}

@@ -96,9 +96,14 @@ func (m *mbModel) params() []*nn.Param {
 	return out
 }
 
-// aggregateBlock computes the normalized sampled aggregate:
-// out[i] = (Σ_j x[src_j] + x[self_i]) / (1 + deg_i).
-func aggregateBlock(b *Block, x *tensor.Matrix) *tensor.Matrix {
+// AggregateGCN computes the normalized GCN block aggregate:
+// out[i] = (Σ_p x[Indices[p]] + x[SelfIdx[i]]) · dstNorm[i], summing block
+// neighbors in index order. Shared between the mini-batch trainer (with
+// sampled-degree norms) and the serving engine's block inference; the
+// float-op order — neighbor sum, then self add, then norm scale, each
+// element sequentially — matches the full-batch GraphSAGE forward so exact
+// (full-neighborhood) blocks yield bit-identical activations.
+func AggregateGCN(b *Block, x *tensor.Matrix, dstNorm []float32) *tensor.Matrix {
 	d := x.Cols
 	out := tensor.New(b.NumDst, d)
 	for i := 0; i < b.NumDst; i++ {
@@ -111,7 +116,7 @@ func aggregateBlock(b *Block, x *tensor.Matrix) *tensor.Matrix {
 			}
 		}
 		self := x.Row(int(b.SelfIdx[i]))
-		norm := 1 / float32(1+hi-lo)
+		norm := dstNorm[i]
 		for j := range dst {
 			dst[j] = (dst[j] + self[j]) * norm
 		}
@@ -120,7 +125,7 @@ func aggregateBlock(b *Block, x *tensor.Matrix) *tensor.Matrix {
 }
 
 // aggregateBlockBackward scatters the normalized gradient back to the src
-// frontier: the transpose of aggregateBlock.
+// frontier: the transpose of AggregateGCN under sampled-degree norms.
 func aggregateBlockBackward(b *Block, dAgg *tensor.Matrix, numSrc int) *tensor.Matrix {
 	d := dAgg.Cols
 	dx := tensor.New(numSrc, d)
@@ -153,7 +158,7 @@ func (m *mbModel) forward(s *Sample, x *tensor.Matrix, training bool) *tensor.Ma
 		blk := s.Blocks[l]
 		m.blocks = append(m.blocks, blk)
 		m.aggIn = append(m.aggIn, h)
-		agg := aggregateBlock(blk, h)
+		agg := AggregateGCN(blk, h, blk.Norms())
 		h = m.layers[layer].Forward(agg, training)
 		if m.relus[layer] != nil {
 			h = m.relus[layer].Forward(h, training)

@@ -1,0 +1,136 @@
+package model_test
+
+// Model-level checkpoint round-trip: train GraphSAGE and GAT for a few
+// epochs, WriteParams → ReadParams into a freshly constructed (differently
+// seeded) model, and assert bit-identical logits. This is the contract the
+// train→serve handoff rests on: a checkpoint fully determines the
+// forward-pass function, independent of the process that loads it.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"distgnn/internal/datasets"
+	"distgnn/internal/model"
+	"distgnn/internal/nn"
+	"distgnn/internal/tensor"
+	"distgnn/internal/train"
+)
+
+func roundTripDataset(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	ds, err := datasets.Load("ogbn-products-sim", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func assertLogitsBitIdentical(t *testing.T, a, b *tensor.Matrix, what string) {
+	t.Helper()
+	if !a.SameShape(b) {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", what, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i, v := range a.Data {
+		if math.Float32bits(v) != math.Float32bits(b.Data[i]) {
+			t.Fatalf("%s: element %d: %v (%#x) != %v (%#x)",
+				what, i, v, math.Float32bits(v), b.Data[i], math.Float32bits(b.Data[i]))
+		}
+	}
+}
+
+func TestGraphSAGECheckpointRoundTripBitIdentical(t *testing.T) {
+	ds := roundTripDataset(t)
+	res, err := train.SingleSocket(ds, train.SingleConfig{
+		Model:  model.Config{Hidden: 16, NumLayers: 2, Seed: 1},
+		Epochs: 3, LR: 0.02, UseAdam: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nn.WriteParams(&buf, res.Model.Params()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh model, different seed: every weight starts different, so the
+	// assertion below can only pass if ReadParams restored all of them.
+	fresh, err := model.New(ds.G, model.Config{
+		InDim: ds.Features.Cols, Hidden: 16, OutDim: ds.NumClasses, NumLayers: 2, Seed: 999,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.ReadParams(bytes.NewReader(buf.Bytes()), fresh.Params()); err != nil {
+		t.Fatal(err)
+	}
+	want := res.Model.Forward(ds.Features, false)
+	got := fresh.Forward(ds.Features, false)
+	assertLogitsBitIdentical(t, got, want, "GraphSAGE round trip")
+}
+
+func TestGATCheckpointRoundTripBitIdentical(t *testing.T) {
+	ds := roundTripDataset(t)
+	heads := 2
+	out := ((ds.NumClasses + heads - 1) / heads) * heads
+	cfg := model.GATConfig{
+		InDim: ds.Features.Cols, Hidden: 16, OutDim: out,
+		NumLayers: 2, NumHeads: heads,
+	}
+	cfg.Seed = 1
+	gat, err := model.NewGAT(ds.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adam := nn.NewAdam(0.01, 0)
+	params := gat.Params()
+	for e := 0; e < 3; e++ {
+		logits := gat.Forward(ds.Features, true)
+		_, dlogits := nn.MaskedCrossEntropy(logits, ds.Labels, ds.TrainIdx)
+		nn.ZeroGrads(params)
+		gat.Backward(dlogits)
+		adam.Step(params)
+	}
+	var buf bytes.Buffer
+	if err := nn.WriteParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Seed = 999
+	fresh, err := model.NewGAT(ds.G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.ReadParams(bytes.NewReader(buf.Bytes()), fresh.Params()); err != nil {
+		t.Fatal(err)
+	}
+	want := gat.Forward(ds.Features, false)
+	got := fresh.Forward(ds.Features, false)
+	assertLogitsBitIdentical(t, got, want, "GAT round trip")
+}
+
+// TestCheckpointRejectsWrongShape documents the mismatch behaviour the
+// serving CLI's fail-fast path relies on.
+func TestCheckpointRejectsWrongShape(t *testing.T) {
+	ds := roundTripDataset(t)
+	m, err := model.New(ds.G, model.Config{
+		InDim: ds.Features.Cols, Hidden: 16, OutDim: ds.NumClasses, NumLayers: 2, Seed: 1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nn.WriteParams(&buf, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := model.New(ds.G, model.Config{
+		InDim: ds.Features.Cols, Hidden: 32, OutDim: ds.NumClasses, NumLayers: 2, Seed: 1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.ReadParams(bytes.NewReader(buf.Bytes()), wrong.Params()); err == nil {
+		t.Fatal("shape mismatch must be rejected")
+	}
+}

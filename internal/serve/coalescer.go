@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"distgnn/internal/tensor"
+)
+
+// Coalescer merges concurrent single-vertex queries into micro-batches: the
+// first request opens a batch window, further requests join until the batch
+// reaches maxBatch or maxWait elapses, then one inference runs for the
+// deduplicated vertex set and every waiter gets its row. Batches execute on
+// their own goroutines, so a slow batch never blocks window formation for
+// the next one.
+type Coalescer struct {
+	infer    func([]int32) (*tensor.Matrix, error)
+	maxBatch int
+	maxWait  time.Duration
+
+	reqs chan *pendingReq
+	quit chan struct{}
+
+	requests   atomic.Int64
+	batches    atomic.Int64
+	batchedReq atomic.Int64 // requests that shared a batch with ≥1 other
+	dedupSaved atomic.Int64 // duplicate vertices removed before inference
+	maxSeen    atomic.Int64
+}
+
+type pendingReq struct {
+	vertex int32
+	done   chan inferResult
+}
+
+type inferResult struct {
+	row []float32
+	err error
+}
+
+// CoalescerStats is the /stats snapshot of batching behaviour.
+type CoalescerStats struct {
+	Requests        int64   `json:"requests"`
+	Batches         int64   `json:"batches"`
+	BatchedRequests int64   `json:"batched_requests"`
+	DedupSaved      int64   `json:"dedup_saved"`
+	MaxBatch        int64   `json:"max_batch_observed"`
+	AvgBatch        float64 `json:"avg_batch"`
+}
+
+// NewCoalescer starts a coalescer over the given inference function.
+// maxBatch ≤ 1 disables merging — every request is its own batch (the
+// batch-of-1 reference arm of the serving benchmark). maxWait ≤ 0 defaults
+// to 2ms.
+func NewCoalescer(infer func([]int32) (*tensor.Matrix, error), maxBatch int, maxWait time.Duration) *Coalescer {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	c := &Coalescer{
+		infer:    infer,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		reqs:     make(chan *pendingReq),
+		quit:     make(chan struct{}),
+	}
+	go c.dispatch()
+	return c
+}
+
+// Submit enqueues one vertex query and blocks until its result row (a
+// private copy) is ready, the context is canceled, or the coalescer closes.
+func (c *Coalescer) Submit(ctx context.Context, vertex int32) ([]float32, error) {
+	p := &pendingReq{vertex: vertex, done: make(chan inferResult, 1)}
+	select {
+	case c.reqs <- p:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.quit:
+		return nil, fmt.Errorf("serve: coalescer closed")
+	}
+	select {
+	case r := <-p.done:
+		return r.row, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops the dispatcher. In-flight batches complete; later Submits
+// fail.
+func (c *Coalescer) Close() { close(c.quit) }
+
+// Stats snapshots the batching counters.
+func (c *Coalescer) Stats() CoalescerStats {
+	st := CoalescerStats{
+		Requests:        c.requests.Load(),
+		Batches:         c.batches.Load(),
+		BatchedRequests: c.batchedReq.Load(),
+		DedupSaved:      c.dedupSaved.Load(),
+		MaxBatch:        c.maxSeen.Load(),
+	}
+	if st.Batches > 0 {
+		st.AvgBatch = float64(st.Requests) / float64(st.Batches)
+	}
+	return st
+}
+
+// dispatch forms batches: block for the first request, then fill the
+// window until maxBatch or maxWait.
+func (c *Coalescer) dispatch() {
+	for {
+		var first *pendingReq
+		select {
+		case first = <-c.reqs:
+		case <-c.quit:
+			return
+		}
+		batch := []*pendingReq{first}
+		if c.maxBatch > 1 {
+			timer := time.NewTimer(c.maxWait)
+		fill:
+			for len(batch) < c.maxBatch {
+				select {
+				case p := <-c.reqs:
+					batch = append(batch, p)
+				case <-timer.C:
+					break fill
+				case <-c.quit:
+					timer.Stop()
+					c.fail(batch, fmt.Errorf("serve: coalescer closed"))
+					return
+				}
+			}
+			timer.Stop()
+		}
+		go c.run(batch)
+	}
+}
+
+// run deduplicates the batch's vertices (first occurrence wins the slot),
+// executes one inference, and fans the rows out to every waiter.
+func (c *Coalescer) run(batch []*pendingReq) {
+	order := make([]int32, 0, len(batch))
+	slot := make(map[int32]int, len(batch))
+	for _, p := range batch {
+		if _, ok := slot[p.vertex]; !ok {
+			slot[p.vertex] = len(order)
+			order = append(order, p.vertex)
+		}
+	}
+	c.requests.Add(int64(len(batch)))
+	c.batches.Add(1)
+	c.dedupSaved.Add(int64(len(batch) - len(order)))
+	if len(batch) > 1 {
+		c.batchedReq.Add(int64(len(batch)))
+	}
+	for {
+		cur := c.maxSeen.Load()
+		if int64(len(batch)) <= cur || c.maxSeen.CompareAndSwap(cur, int64(len(batch))) {
+			break
+		}
+	}
+
+	out, err := c.infer(order)
+	if err != nil {
+		c.fail(batch, err)
+		return
+	}
+	for _, p := range batch {
+		row := append([]float32(nil), out.Row(slot[p.vertex])...)
+		p.done <- inferResult{row: row}
+	}
+}
+
+func (c *Coalescer) fail(batch []*pendingReq, err error) {
+	for _, p := range batch {
+		p.done <- inferResult{err: err}
+	}
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distgnn/internal/tensor"
+)
+
+// echoInfer returns a 1-col matrix whose row i holds float32(vertex_i), so
+// routing bugs (wrong row to wrong waiter) are visible.
+func echoInfer(calls *atomic.Int64, seen *atomic.Int64) func([]int32) (*tensor.Matrix, error) {
+	return func(vs []int32) (*tensor.Matrix, error) {
+		calls.Add(1)
+		seen.Add(int64(len(vs)))
+		out := tensor.New(len(vs), 1)
+		for i, v := range vs {
+			out.Set(i, 0, float32(v))
+		}
+		return out, nil
+	}
+}
+
+func TestCoalescerMergesConcurrentRequests(t *testing.T) {
+	var calls, seen atomic.Int64
+	slow := func(vs []int32) (*tensor.Matrix, error) {
+		time.Sleep(time.Millisecond) // let the window fill
+		return echoInfer(&calls, &seen)(vs)
+	}
+	c := NewCoalescer(slow, 16, 50*time.Millisecond)
+	defer c.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := int32(i % 8) // heavy duplication across requests
+			row, err := c.Submit(context.Background(), v)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if int32(row[0]) != v {
+				errs <- fmt.Errorf("vertex %d got row %v", v, row[0])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Requests != n {
+		t.Fatalf("requests %d", st.Requests)
+	}
+	if st.Batches >= n {
+		t.Fatalf("no coalescing: %d batches for %d requests", st.Batches, n)
+	}
+	if st.DedupSaved == 0 {
+		t.Fatal("duplicates were not deduplicated")
+	}
+	if seen.Load()+st.DedupSaved != n {
+		t.Fatalf("inferred %d + dedup %d != %d requests", seen.Load(), st.DedupSaved, n)
+	}
+}
+
+func TestCoalescerBatchOfOneMode(t *testing.T) {
+	var calls, seen atomic.Int64
+	c := NewCoalescer(echoInfer(&calls, &seen), 1, time.Millisecond)
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		row, err := c.Submit(context.Background(), int32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int32(row[0]) != int32(i) {
+			t.Fatalf("got %v", row[0])
+		}
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("batch-of-1 made %d calls", calls.Load())
+	}
+	st := c.Stats()
+	if st.Batches != 5 || st.AvgBatch != 1 || st.BatchedRequests != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCoalescerTimerFlushesPartialBatch(t *testing.T) {
+	var calls, seen atomic.Int64
+	c := NewCoalescer(echoInfer(&calls, &seen), 1024, 5*time.Millisecond)
+	defer c.Close()
+	start := time.Now()
+	row, err := c.Submit(context.Background(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(row[0]) != 42 {
+		t.Fatalf("got %v", row[0])
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("partial batch waited %v", elapsed)
+	}
+}
+
+func TestCoalescerPropagatesInferenceError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	c := NewCoalescer(func([]int32) (*tensor.Matrix, error) { return nil, boom }, 4, time.Millisecond)
+	defer c.Close()
+	if _, err := c.Submit(context.Background(), 1); err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestCoalescerContextCancel(t *testing.T) {
+	block := make(chan struct{})
+	c := NewCoalescer(func(vs []int32) (*tensor.Matrix, error) {
+		<-block
+		return tensor.New(len(vs), 1), nil
+	}, 1, time.Millisecond)
+	defer c.Close()
+	defer close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := c.Submit(ctx, 1); err == nil {
+		t.Fatal("canceled submit returned no error")
+	}
+}
+
+func TestCoalescerClosedSubmitFails(t *testing.T) {
+	var calls, seen atomic.Int64
+	c := NewCoalescer(echoInfer(&calls, &seen), 4, time.Millisecond)
+	c.Close()
+	if _, err := c.Submit(context.Background(), 1); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+}

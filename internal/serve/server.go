@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"distgnn/internal/datasets"
+	"distgnn/internal/nn"
+	"distgnn/internal/tensor"
+)
+
+// Config configures a serving instance.
+type Config struct {
+	// Arch, Hidden, NumLayers, NumHeads must describe the checkpoint being
+	// loaded; New fails fast on any mismatch. Arch defaults to graphsage,
+	// NumLayers to 3 and Hidden to 64 — distgnn-train's defaults.
+	Arch      Arch
+	Hidden    int
+	NumLayers int
+	NumHeads  int
+	// OutDim overrides the output width when the checkpoint's differs from
+	// the dataset's class count — e.g. a multi-head GAT trained with the
+	// class count padded up to a NumHeads multiple. 0 means NumClasses.
+	OutDim int
+	// Fanouts selects sampled inference (one entry per layer); empty means
+	// exact full-neighborhood inference.
+	Fanouts []int
+	// MaxBatch and MaxWait shape the request coalescer: a micro-batch
+	// closes at MaxBatch requests or after MaxWait, whichever first.
+	// MaxBatch ≤ 1 disables coalescing.
+	MaxBatch int
+	MaxWait  time.Duration
+	// FeatureCacheBytes budgets the gathered-input-feature cache;
+	// EmbedCacheBytes budgets the final-layer embedding cache. ≤ 0
+	// disables the respective cache.
+	FeatureCacheBytes int64
+	EmbedCacheBytes   int64
+}
+
+// Server is the HTTP inference front end: /predict, /embed, /stats,
+// /healthz.
+type Server struct {
+	engine *Engine
+	co     *Coalescer
+	emb    *Cache[int32, []float32]
+	cfg    Config
+	mux    *http.ServeMux
+	start  time.Time
+
+	predicts atomic.Int64
+	embeds   atomic.Int64
+}
+
+// New loads the checkpoint into a forward-only model described by cfg and
+// assembles the serving pipeline. A checkpoint whose parameter names or
+// shapes disagree with the requested arch/dims fails immediately with a
+// descriptive error rather than serving garbage.
+func New(ds *datasets.Dataset, checkpoint io.Reader, cfg Config) (*Server, error) {
+	if cfg.Arch == "" {
+		cfg.Arch = ArchGraphSAGE
+	}
+	if cfg.NumLayers == 0 {
+		cfg.NumLayers = 3
+	}
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 64
+	}
+	eng, err := NewEngine(ds, ModelSpec{
+		Arch: cfg.Arch, Hidden: cfg.Hidden, OutDim: cfg.OutDim,
+		NumLayers: cfg.NumLayers, NumHeads: cfg.NumHeads,
+	}, cfg.Fanouts, cfg.FeatureCacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.ReadParams(checkpoint, eng.Params()); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint does not match requested model %s: %w "+
+			"(distgnn-train prints the hyperparameters next to \"checkpoint written\" — pass the same -arch/-hidden/-layers/-heads here)",
+			eng.Spec(), err)
+	}
+	s := &Server{
+		engine: eng,
+		emb:    NewCache[int32, []float32](cfg.EmbedCacheBytes, 0),
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	s.co = NewCoalescer(s.inferAndCache, cfg.MaxBatch, cfg.MaxWait)
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/embed", s.handleEmbed)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// Engine exposes the underlying inference engine (benchmarks and tests).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Handler returns the HTTP handler for all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the request coalescer.
+func (s *Server) Close() { s.co.Close() }
+
+// inferAndCache is the coalescer's batch function: one engine pass, then
+// the final-layer rows are published to the embedding cache so later
+// requests for the same vertices short-circuit inference entirely.
+func (s *Server) inferAndCache(vertices []int32) (*tensor.Matrix, error) {
+	out, err := s.engine.Infer(vertices)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vertices {
+		row := append([]float32(nil), out.Row(i)...)
+		s.emb.Put(v, row, 4*len(row))
+	}
+	return out, nil
+}
+
+// lookup serves a vertex's final-layer output: embedding cache first, then
+// the coalesced inference path.
+func (s *Server) lookup(r *http.Request, vertex int32) ([]float32, error) {
+	if row, ok := s.emb.Get(vertex); ok {
+		return row, nil
+	}
+	return s.co.Submit(r.Context(), vertex)
+}
+
+// PredictResponse is the /predict payload.
+type PredictResponse struct {
+	Vertex int32     `json:"vertex"`
+	Class  int       `json:"class"`
+	Logits []float32 `json:"logits"`
+}
+
+// EmbedResponse is the /embed payload.
+type EmbedResponse struct {
+	Vertex    int32     `json:"vertex"`
+	Embedding []float32 `json:"embedding"`
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	UptimeSeconds  float64        `json:"uptime_seconds"`
+	Arch           Arch           `json:"arch"`
+	Mode           string         `json:"mode"`
+	Model          string         `json:"model"`
+	Predicts       int64          `json:"predicts"`
+	Embeds         int64          `json:"embeds"`
+	Coalescer      CoalescerStats `json:"coalescer"`
+	Engine         EngineStats    `json:"engine"`
+	FeatureCache   CacheStats     `json:"feature_cache"`
+	EmbeddingCache CacheStats     `json:"embedding_cache"`
+}
+
+// StatsSnapshot returns the same snapshot /stats serves.
+func (s *Server) StatsSnapshot() Stats {
+	return Stats{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Arch:           s.engine.Spec().Arch,
+		Mode:           s.engine.Mode(),
+		Model:          s.engine.Spec().String(),
+		Predicts:       s.predicts.Load(),
+		Embeds:         s.embeds.Load(),
+		Coalescer:      s.co.Stats(),
+		Engine:         s.engine.Stats(),
+		FeatureCache:   s.engine.FeatureCacheStats(),
+		EmbeddingCache: s.emb.Stats(),
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	vertex, ok := s.vertexParam(w, r)
+	if !ok {
+		return
+	}
+	s.predicts.Add(1)
+	row, err := s.lookup(r, vertex)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, PredictResponse{Vertex: vertex, Class: argmax(row), Logits: row})
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	vertex, ok := s.vertexParam(w, r)
+	if !ok {
+		return
+	}
+	s.embeds.Add(1)
+	row, err := s.lookup(r, vertex)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, EmbedResponse{Vertex: vertex, Embedding: row})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.StatsSnapshot())
+}
+
+// vertexParam parses and range-checks the ?vertex= query parameter.
+func (s *Server) vertexParam(w http.ResponseWriter, r *http.Request) (int32, bool) {
+	raw := r.URL.Query().Get("vertex")
+	if raw == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing ?vertex= parameter"))
+		return 0, false
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad vertex %q: %v", raw, err))
+		return 0, false
+	}
+	if v < 0 || int(v) >= s.engine.ds.G.NumVertices {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("vertex %d out of range [0,%d)", v, s.engine.ds.G.NumVertices))
+		return 0, false
+	}
+	return int32(v), true
+}
+
+// argmax matches tensor.Matrix.ArgmaxRows: ties resolve to the lowest
+// index.
+func argmax(row []float32) int {
+	best, bestJ := float32(-1), 0
+	for j, v := range row {
+		if j == 0 || v > best {
+			best, bestJ = v, j
+		}
+	}
+	return bestJ
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
