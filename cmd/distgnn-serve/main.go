@@ -19,17 +19,32 @@
 // By default inference is exact (full k-hop neighborhoods — bit-identical
 // to a full-graph forward pass of the trained model); -fanouts switches to
 // DGL-style sampled neighborhoods for latency at scale.
+//
+// Sharded serving (-shards N) splits the engine across N ranks: each rank
+// owns one vertex partition and its feature slice, any rank routes requests
+// to the owner, and halo features cross the comm fabric (see README
+// "Sharded serving"). Exact-mode logits stay bit-identical to a
+// single-process server:
+//
+//	distgnn-serve -checkpoint ckpt.dgnp -shards 2 -transport tcp -spawn-local ...
+//	distgnn-serve -checkpoint ckpt.dgnp -shards 2 -transport inproc ...
+//	curl 'localhost:8399/predict?vertex=17'   # rank 0
+//	curl 'localhost:8400/predict?vertex=17'   # rank 1 — same bytes
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
 
+	"distgnn/internal/comm"
 	"distgnn/internal/datasets"
 	"distgnn/internal/graphio"
 	"distgnn/internal/parallel"
@@ -50,13 +65,29 @@ func main() {
 		"checkpoint output width when it differs from the dataset's class count (e.g. gat trained with classes padded to a -heads multiple); 0 = class count")
 	fanouts := flag.String("fanouts", "",
 		"comma-separated per-layer neighbor fanouts for sampled inference (e.g. 15,10,5); empty = exact full neighborhoods")
-	addr := flag.String("addr", "127.0.0.1:8399", "HTTP listen address")
+	addr := flag.String("addr", "127.0.0.1:8399", "HTTP listen address (shard mode: rank r defaults to port+r)")
 	maxBatch := flag.Int("max-batch", 16, "request coalescer: max queries per micro-batch (1 disables coalescing)")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "request coalescer: max time a query waits for batch mates")
-	featCacheMB := flag.Float64("feature-cache-mb", 64, "gathered-feature cache budget in MB (0 disables)")
+	featCacheMB := flag.Float64("feature-cache-mb", 64, "gathered-feature cache budget in MB (0 disables; shard mode: the halo feature cache)")
 	embCacheMB := flag.Float64("embed-cache-mb", 16, "final-layer embedding cache budget in MB (0 disables)")
 	workers := flag.Int("workers", 0,
 		"kernel worker-pool size, the OMP_NUM_THREADS analogue (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "shard the engine across this many ranks (1 = single-process serving)")
+	rank := flag.Int("rank", 0, "shard mode, tcp: this process's rank")
+	transport := flag.String("transport", "inproc",
+		"shard fabric: inproc (all shards in this process) or tcp (this process is one rank of a fleet)")
+	peers := flag.String("peers", "",
+		"shard mode: comma-separated rank→HTTP addresses; empty derives rank r as -addr's port+r")
+	commPeers := flag.String("comm-peers", "",
+		"shard mode, tcp: comma-separated rank→comm listen addresses; only the rank-0 entry (rendezvous registry) is required")
+	commListen := flag.String("comm-listen", "",
+		"shard mode, tcp: comm bind address override for this rank")
+	spawnLocal := flag.Bool("spawn-local", false,
+		"shard mode, tcp: fork -shards processes of this binary over loopback; this process serves rank 0")
+	netTimeout := flag.Duration("net-timeout", comm.DefaultTCPTimeout,
+		"shard mode, tcp: deadline for dial/handshake/send/recv/barrier operations")
+	partSeed := flag.Int64("partition-seed", 1,
+		"shard mode: seed of the deterministic vertex-cut partitioning every rank derives")
 	flag.Parse()
 
 	if *checkpoint == "" {
@@ -66,8 +97,48 @@ func main() {
 		parallel.Configure(parallel.Config{Workers: *workers})
 	}
 
-	var ds *datasets.Dataset
+	cfg := serve.Config{
+		Arch:              serve.Arch(*arch),
+		Hidden:            *hidden,
+		NumLayers:         *layers,
+		NumHeads:          *heads,
+		OutDim:            *outDim,
+		MaxBatch:          *maxBatch,
+		MaxWait:           *maxWait,
+		FeatureCacheBytes: int64(*featCacheMB * (1 << 20)),
+		EmbedCacheBytes:   int64(*embCacheMB * (1 << 20)),
+	}
 	var err error
+	cfg.Fanouts, err = parseFanouts(*fanouts)
+	if err != nil {
+		fatal(err)
+	}
+
+	// TCP shard rendezvous starts before the (deterministic) dataset
+	// generation so spawned ranks overlap their graph builds.
+	var tr comm.Transport
+	var children []*exec.Cmd
+	var httpAddrs []string
+	tcpMode := *transport == "tcp" && *shards > 1
+	if *shards > 1 {
+		httpAddrs, err = shardHTTPAddrs(*peers, *addr, *shards)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	switch {
+	case *transport != "inproc" && *transport != "tcp":
+		fatal(fmt.Errorf("unknown -transport %q (inproc or tcp)", *transport))
+	case tcpMode:
+		tr, children, err = setupTCP(*shards, *rank, *commPeers, *commListen, httpAddrs, *spawnLocal, *netTimeout)
+		if err != nil {
+			fatal(err)
+		}
+	case *spawnLocal:
+		fatal(fmt.Errorf("-spawn-local requires -transport tcp and -shards >1"))
+	}
+
+	var ds *datasets.Dataset
 	name := *dataset
 	if *file != "" {
 		f, ferr := os.Open(*file)
@@ -84,45 +155,159 @@ func main() {
 		fatal(err)
 	}
 
-	fo, err := parseFanouts(*fanouts)
+	verbose := !tcpMode || *rank == 0
+	if verbose {
+		fmt.Printf("dataset %s: %d vertices, %d edges (avg degree %.1f), %d features, %d classes\n",
+			name, ds.G.NumVertices, ds.G.NumEdges, ds.G.AvgDegree(),
+			ds.Features.Cols, ds.NumClasses)
+	}
+
+	if *shards <= 1 {
+		ckpt, err := os.Open(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := serve.New(ds, ckpt, cfg)
+		ckpt.Close()
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("model %s from %s, inference mode %s\n",
+			srv.Engine().Spec(), *checkpoint, srv.Engine().Mode())
+		fmt.Printf("coalescer: max batch %d, max wait %v; caches: features %.0f MB, embeddings %.0f MB\n",
+			*maxBatch, *maxWait, *featCacheMB, *embCacheMB)
+		fmt.Printf("serving /predict /embed /stats /healthz on http://%s\n", *addr)
+		if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ckptBytes, err := os.ReadFile(*checkpoint)
 	if err != nil {
+		fatal(err)
+	}
+	httpPeers := make([]serve.PeerAddr, *shards)
+	for r := range httpPeers {
+		httpPeers[r] = serve.PeerAddr{Rank: r, Addr: httpAddrs[r]}
+	}
+	mkShard := func(r int, fabric comm.Transport) *serve.Server {
+		srv, err := serve.NewShard(ds, bytes.NewReader(ckptBytes), cfg, serve.ShardConfig{
+			Rank: r, Shards: *shards, Transport: fabric,
+			HTTPPeers: httpPeers, PartitionSeed: *partSeed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return srv
+	}
+
+	if tcpMode {
+		srv := mkShard(*rank, tr)
+		st := srv.StatsSnapshot().Shard
+		fmt.Printf("shard rank %d/%d (tcp): owns %d vertices, static halo %d, model %s\n",
+			*rank, *shards, st.OwnedVertices, st.HaloVerticesStatic, srv.Engine().Spec())
+		fmt.Printf("serving /predict /embed /stats /healthz on http://%s\n", httpAddrs[*rank])
+		err := http.ListenAndServe(httpAddrs[*rank], srv.Handler())
+		comm.KillRanks(children)
 		fatal(err)
 	}
 
-	ckpt, err := os.Open(*checkpoint)
-	if err != nil {
-		fatal(err)
+	// inproc: every shard a goroutine in this process over the shared
+	// mailbox fabric — partition parallelism without process management.
+	fabric := comm.NewProcTransport(*shards)
+	errc := make(chan error, *shards)
+	for r := 0; r < *shards; r++ {
+		srv := mkShard(r, fabric)
+		st := srv.StatsSnapshot().Shard
+		fmt.Printf("shard rank %d/%d (inproc): owns %d vertices, static halo %d, serving on http://%s\n",
+			r, *shards, st.OwnedVertices, st.HaloVerticesStatic, httpAddrs[r])
+		go func(r int, srv *serve.Server) {
+			errc <- http.ListenAndServe(httpAddrs[r], srv.Handler())
+		}(r, srv)
 	}
-	srv, err := serve.New(ds, ckpt, serve.Config{
-		Arch:              serve.Arch(*arch),
-		Hidden:            *hidden,
-		NumLayers:         *layers,
-		NumHeads:          *heads,
-		OutDim:            *outDim,
-		Fanouts:           fo,
-		MaxBatch:          *maxBatch,
-		MaxWait:           *maxWait,
-		FeatureCacheBytes: int64(*featCacheMB * (1 << 20)),
-		EmbedCacheBytes:   int64(*embCacheMB * (1 << 20)),
+	fmt.Printf("model %s, %d shards, endpoints /predict /embed /stats /healthz\n",
+		serve.Arch(*arch), *shards)
+	fatal(<-errc)
+}
+
+// shardHTTPAddrs resolves the fleet's HTTP addresses: an explicit -peers
+// list, or rank r at base's port + r.
+func shardHTTPAddrs(peers, base string, shards int) ([]string, error) {
+	if peers != "" {
+		list := strings.Split(peers, ",")
+		if len(list) != shards {
+			return nil, fmt.Errorf("-peers lists %d addresses for %d shards", len(list), shards)
+		}
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		return list, nil
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("bad -addr %q: %v", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -addr port %q: %v", portStr, err)
+	}
+	out := make([]string, shards)
+	for r := range out {
+		out[r] = net.JoinHostPort(host, strconv.Itoa(port+r))
+	}
+	return out, nil
+}
+
+// setupTCP builds this rank's comm endpoint and, under -spawn-local, forks
+// the nonzero ranks (this process serves rank 0). The returned transport is
+// fully established.
+func setupTCP(shards, rank int, commPeers, commListen string, httpAddrs []string,
+	spawnLocal bool, timeout time.Duration) (comm.Transport, []*exec.Cmd, error) {
+	var peerList []string
+	if commPeers != "" {
+		peerList = strings.Split(commPeers, ",")
+	}
+	if spawnLocal && rank != 0 {
+		return nil, nil, fmt.Errorf("-spawn-local is the rank-0 parent; it cannot run as rank %d", rank)
+	}
+	tr, err := comm.NewTCPTransport(comm.TCPConfig{
+		Rank: rank, N: shards, Peers: peerList, Listen: commListen, Timeout: timeout,
 	})
-	ckpt.Close()
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
-	defer srv.Close()
 
-	fmt.Printf("dataset %s: %d vertices, %d edges (avg degree %.1f), %d features, %d classes\n",
-		name, ds.G.NumVertices, ds.G.NumEdges, ds.G.AvgDegree(),
-		ds.Features.Cols, ds.NumClasses)
-	fmt.Printf("model %s from %s, inference mode %s\n",
-		srv.Engine().Spec(), *checkpoint, srv.Engine().Mode())
-	fmt.Printf("coalescer: max batch %d, max wait %v; caches: features %.0f MB, embeddings %.0f MB\n",
-		*maxBatch, *maxWait, *featCacheMB, *embCacheMB)
-	fmt.Printf("serving /predict /embed /stats /healthz on http://%s\n", *addr)
-
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fatal(err)
+	var children []*exec.Cmd
+	if spawnLocal {
+		// Children get the full HTTP peer table and the parent's comm
+		// registry; the parent's -comm-listen is its own address and must
+		// not be inherited.
+		children, err = comm.SpawnLocalRanks(shards, func(r int) []string {
+			return []string{
+				"-spawn-local=false", "-transport=tcp", "-comm-listen=",
+				fmt.Sprintf("-rank=%d", r),
+				"-comm-peers=" + tr.Addr(),
+				"-peers=" + strings.Join(httpAddrs, ","),
+				"-addr=" + httpAddrs[r],
+			}
+		})
+		if err != nil {
+			tr.Close()
+			return nil, nil, err
+		}
+		// The parent serves forever; a SIGINT/SIGTERM must not orphan the
+		// other ranks.
+		comm.KillRanksOnSignal(children)
 	}
+
+	if err := tr.Establish(); err != nil {
+		tr.Close()
+		comm.KillRanks(children)
+		return nil, nil, err
+	}
+	return tr, children, nil
 }
 
 func parseFanouts(s string) ([]int, error) {

@@ -169,7 +169,7 @@ func main() {
 		Transport:        tr,
 	})
 	if err != nil {
-		killChildren(children)
+		comm.KillRanks(children)
 		fatal(err)
 	}
 	wall := time.Since(start)
@@ -216,35 +216,24 @@ func setupTCP(sockets, rank int, peers, listen, advertise string, spawnLocal boo
 
 	var children []*exec.Cmd
 	if spawnLocal {
-		exe, err := os.Executable()
+		// The parent's -listen/-advertise are its own addresses — children
+		// must not inherit them (bind collisions, corrupt rendezvous table).
+		children, err = comm.SpawnLocalRanks(sockets, func(r int) []string {
+			return []string{
+				"-spawn-local=false", "-transport=tcp",
+				"-listen=", "-advertise=",
+				fmt.Sprintf("-rank=%d", r), "-peers=" + tr.Addr(),
+			}
+		})
 		if err != nil {
 			tr.Close()
 			return nil, nil, err
-		}
-		for r := 1; r < sockets; r++ {
-			// Re-exec with the same flags; later flags win in the stdlib
-			// parser, so the per-rank overrides simply append. The parent's
-			// -listen/-advertise are its own addresses — children must not
-			// inherit them (bind collisions, corrupt rendezvous table).
-			args := append(append([]string{}, os.Args[1:]...),
-				"-spawn-local=false", "-transport=tcp",
-				"-listen=", "-advertise=",
-				fmt.Sprintf("-rank=%d", r), "-peers="+tr.Addr())
-			cmd := exec.Command(exe, args...)
-			cmd.Stdout = os.Stdout
-			cmd.Stderr = os.Stderr
-			if err := cmd.Start(); err != nil {
-				tr.Close()
-				killChildren(children)
-				return nil, nil, fmt.Errorf("spawn rank %d: %w", r, err)
-			}
-			children = append(children, cmd)
 		}
 	}
 
 	if err := tr.Establish(); err != nil {
 		tr.Close()
-		killChildren(children)
+		comm.KillRanks(children)
 		return nil, nil, err
 	}
 	return tr, children, nil
@@ -253,24 +242,9 @@ func setupTCP(sockets, rank int, peers, listen, advertise string, spawnLocal boo
 // waitChildren reaps spawned ranks and exits nonzero if any rank failed —
 // the whole fleet is one training run.
 func waitChildren(children []*exec.Cmd) {
-	failed := false
-	for _, c := range children {
-		if err := c.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "distgnn-train: spawned rank failed: %v\n", err)
-			failed = true
-		}
-	}
-	if failed {
+	if err := comm.WaitRanks(children); err != nil {
+		fmt.Fprintln(os.Stderr, "distgnn-train:", err)
 		os.Exit(1)
-	}
-}
-
-func killChildren(children []*exec.Cmd) {
-	for _, c := range children {
-		if c.Process != nil {
-			c.Process.Kill()
-			c.Wait()
-		}
 	}
 }
 

@@ -30,6 +30,7 @@ func Ablations() []Experiment {
 		{"abl-workers", "Ablation: worker-pool size vs AP/matmul time (OMP_NUM_THREADS)", AblationWorkers},
 		{"abl-transport", "Ablation: in-process vs TCP-loopback comm transport epoch time", AblationTransport},
 		{"abl-serve", "Ablation: online serving — coalescing and cache levers (QPS, p50/p95/p99)", AblationServe},
+		{"abl-shardserve", "Ablation: sharded serving — QPS/p95 vs shard count under Poisson and MMPP arrivals", AblationShardServe},
 	}
 }
 

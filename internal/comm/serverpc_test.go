@@ -1,0 +1,216 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// reqRepFabrics builds each transport the serve plane runs on: the shared
+// in-process mailbox and a loopback TCP mesh, both over n ranks.
+func reqRepFabrics(t *testing.T, n int) map[string][]Transport {
+	t.Helper()
+	proc := NewProcTransport(n)
+	shared := make([]Transport, n)
+	for r := range shared {
+		shared[r] = proc
+	}
+	tcp, err := NewLoopbackTCP(n, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]Transport{"inproc": shared, "tcp": tcp}
+}
+
+func closeFabric(eps []Transport) {
+	seen := map[Transport]bool{}
+	for _, ep := range eps {
+		if !seen[ep] {
+			seen[ep] = true
+			ep.Close()
+		}
+	}
+}
+
+// TestReqRepEchoBothTransports: a request round-trips bit-exactly through
+// an echo handler on both fabrics, including float payloads that are bit
+// patterns of integers (the vertex-ID lane).
+func TestReqRepEchoBothTransports(t *testing.T) {
+	const n = 3
+	for name, eps := range reqRepFabrics(t, n) {
+		rrs := make([]*ReqRep, n)
+		for r := 0; r < n; r++ {
+			rr, err := NewReqRep(eps[r], r, func(from int, req []float32) ([]float32, error) {
+				out := append([]float32{float32(from)}, req...)
+				return out, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rrs[r] = rr
+		}
+		ids := []int32{0, 1, -7, 1 << 20, math.MaxInt32}
+		req := Int32sToF32(ids)
+		rep, err := rrs[0].Call(2, req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep) != 1+len(req) || rep[0] != 0 {
+			t.Fatalf("%s: echo reply %v", name, rep)
+		}
+		got := F32ToInt32s(rep[1:])
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("%s: id %d round-tripped to %d", name, ids[i], got[i])
+			}
+		}
+		closeFabric(eps)
+	}
+}
+
+// TestReqRepConcurrentFanOut hammers the RPC plane the way the sharded
+// gather does: every rank calls every other rank from many goroutines at
+// once, with per-call payloads that must come back matched to their own
+// request (tags, not order, pair replies with calls).
+func TestReqRepConcurrentFanOut(t *testing.T) {
+	const n = 3
+	for name, eps := range reqRepFabrics(t, n) {
+		rrs := make([]*ReqRep, n)
+		for r := 0; r < n; r++ {
+			r := r
+			rr, err := NewReqRep(eps[r], r, func(from int, req []float32) ([]float32, error) {
+				// Reply = responder rank followed by the doubled request IDs.
+				ids := F32ToInt32s(req)
+				for i := range ids {
+					ids[i] *= 2
+				}
+				return append([]float32{float32(r)}, Int32sToF32(ids)...), nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rrs[r] = rr
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, n*n*8)
+		for r := 0; r < n; r++ {
+			for peer := 0; peer < n; peer++ {
+				if peer == r {
+					continue
+				}
+				for w := 0; w < 4; w++ {
+					wg.Add(1)
+					go func(r, peer, w int) {
+						defer wg.Done()
+						for i := 0; i < 25; i++ {
+							ids := []int32{int32(r*1000 + peer*100 + w*10 + i)}
+							rep, err := rrs[r].Call(peer, Int32sToF32(ids))
+							if err != nil {
+								errc <- err
+								return
+							}
+							if len(rep) != 2 || int(rep[0]) != peer {
+								errc <- fmt.Errorf("reply from wrong responder: %v", rep)
+								return
+							}
+							if got := F32ToInt32s(rep[1:])[0]; got != 2*ids[0] {
+								errc <- fmt.Errorf("call %d: reply %d, want %d", ids[0], got, 2*ids[0])
+								return
+							}
+						}
+					}(r, peer, w)
+				}
+			}
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatalf("%s: %v", name, err)
+		}
+		closeFabric(eps)
+	}
+}
+
+// TestReqRepErrorCrossesWire: a handler error arrives at the caller as an
+// error carrying the handler's message, on both fabrics.
+func TestReqRepErrorCrossesWire(t *testing.T) {
+	const n = 2
+	for name, eps := range reqRepFabrics(t, n) {
+		if _, err := NewReqRep(eps[1], 1, func(from int, req []float32) ([]float32, error) {
+			return nil, fmt.Errorf("vertex 42 not owned here")
+		}); err != nil {
+			t.Fatal(err)
+		}
+		caller, err := NewReqRep(eps[0], 0, func(int, []float32) ([]float32, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = caller.Call(1, []float32{1})
+		if err == nil || !strings.Contains(err.Error(), "vertex 42 not owned here") {
+			t.Fatalf("%s: handler error did not cross the wire: %v", name, err)
+		}
+		closeFabric(eps)
+	}
+}
+
+// TestReqRepMisuse pins the defined misuse errors: self-calls, rank out of
+// world, closed endpoint.
+func TestReqRepMisuse(t *testing.T) {
+	tr := NewProcTransport(2)
+	defer tr.Close()
+	rr, err := NewReqRep(tr, 0, func(int, []float32) ([]float32, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.Call(0, nil); err == nil {
+		t.Fatal("self-call must error")
+	}
+	if _, err := rr.Call(5, nil); err == nil {
+		t.Fatal("out-of-world call must error")
+	}
+	rr.Close()
+	if _, err := rr.Call(1, nil); err == nil {
+		t.Fatal("call on closed endpoint must error")
+	}
+	if _, err := NewReqRep(tr, 7, nil); err == nil {
+		t.Fatal("endpoint rank outside the world must be rejected")
+	}
+}
+
+// TestPackBytesRoundTrip: the byte→float packing used for error messages
+// round-trips arbitrary lengths.
+func TestPackBytesRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "ab", "abc", "abcd", "abcde", "halo fetch: rank 3"} {
+		packed := PackBytes([]byte(s))
+		got, err := UnpackBytes(packed, len(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte(s)) {
+			t.Fatalf("%q round-tripped to %q", s, got)
+		}
+	}
+	if _, err := UnpackBytes([]float32{0}, 9); err == nil {
+		t.Fatal("undersized unpack must error")
+	}
+	if _, err := UnpackBytes(nil, -1); err == nil {
+		t.Fatal("negative length must error")
+	}
+}
+
+// TestServeTagRangeDisjoint documents the tag-plane contract: serve tags
+// sit above every tag the training path generates and every collective tag.
+func TestServeTagRangeDisjoint(t *testing.T) {
+	if ServeTagBase <= 0 {
+		t.Fatal("serve tag range must be positive")
+	}
+	// Training p2p tags are epoch-scaled small ints; 1<<20 epochs × layers
+	// stays far below the reserved base.
+	if maxTrainTag := (1 << 24); maxTrainTag >= ServeTagBase {
+		t.Fatalf("training tag headroom %d crosses the serve base %d", maxTrainTag, ServeTagBase)
+	}
+}

@@ -1,0 +1,81 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"syscall"
+)
+
+// spawn.go is the -spawn-local process bootstrap shared by the CLIs: the
+// rank-0 parent re-execs itself as ranks 1..N-1 of a loopback fleet,
+// appending per-rank flag overrides (the stdlib flag parser takes the last
+// occurrence, so the parent's own flags simply get overridden). The caller
+// supplies the per-rank argv tail; this file owns process lifecycle —
+// start, reap, kill — so the two CLIs cannot drift apart on it.
+
+// SpawnLocalRanks forks ranks 1..n-1 of a local fleet as copies of the
+// current executable. argsForRank returns the flags appended for one rank
+// (after a copy of this process's own arguments). Children inherit
+// stdout/stderr. On any start failure the already-started children are
+// killed and the error returned.
+func SpawnLocalRanks(n int, argsForRank func(rank int) []string) ([]*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	var children []*exec.Cmd
+	for r := 1; r < n; r++ {
+		args := append(append([]string{}, os.Args[1:]...), argsForRank(r)...)
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			KillRanks(children)
+			return nil, fmt.Errorf("spawn rank %d: %w", r, err)
+		}
+		children = append(children, cmd)
+	}
+	return children, nil
+}
+
+// KillRanks terminates and reaps spawned ranks.
+func KillRanks(children []*exec.Cmd) {
+	for _, c := range children {
+		if c.Process != nil {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}
+}
+
+// WaitRanks reaps spawned ranks and returns the joined errors of every
+// rank that exited nonzero — the fleet is one run, and an operator
+// debugging it needs all the failures, not just the first.
+func WaitRanks(children []*exec.Cmd) error {
+	var errs []error
+	for _, c := range children {
+		if err := c.Wait(); err != nil {
+			errs = append(errs, fmt.Errorf("spawned rank failed: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// KillRanksOnSignal installs a SIGINT/SIGTERM handler that kills the
+// spawned ranks before exiting — long-running parents (a serving fleet)
+// must not orphan their children when the operator kills the parent.
+func KillRanksOnSignal(children []*exec.Cmd) {
+	if len(children) == 0 {
+		return
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		KillRanks(children)
+		os.Exit(1)
+	}()
+}

@@ -1,0 +1,33 @@
+package minibatch
+
+import "distgnn/internal/graph"
+
+// owned.go is the partition-aware view of exact block extraction: the
+// sharded serving engine expands k-hop blocks over the replicated topology
+// exactly as FullSample does (bit-identical aggregation order), but its
+// input-frontier features live on whichever shard owns each vertex, so the
+// frontier must be split by owner before the gather — local positions read
+// the resident feature slice, remote positions become one batched halo
+// fetch per owner rank.
+
+// SplitByOwner partitions frontier positions by owning shard: the result's
+// entry p lists every index i with owners[frontier[i]] == p, in frontier
+// order. k is the shard count. Callers validate that owners covers every
+// frontier vertex with values in [0, k).
+func SplitByOwner(frontier []int32, owners []int32, k int) [][]int32 {
+	out := make([][]int32, k)
+	for i, v := range frontier {
+		out[owners[v]] = append(out[owners[v]], int32(i))
+	}
+	return out
+}
+
+// FullSampleOwned is the partition-aware FullSample: the identical exact
+// full-neighborhood expansion (the returned Sample matches FullSample
+// element for element), plus the input frontier split by owning shard for
+// the feature gather. owners maps global vertex ID to owner shard in
+// [0, k).
+func FullSampleOwned(g *graph.CSR, seeds []int32, hops int, owners []int32, k int) (*Sample, [][]int32) {
+	s := FullSample(g, seeds, hops)
+	return s, SplitByOwner(s.InputFrontier(), owners, k)
+}

@@ -90,6 +90,26 @@ type EngineStats struct {
 	InputFrontierVertices int64 `json:"input_frontier_vertices"`
 }
 
+// featureSource materializes the raw input features for a block's
+// outermost frontier — the one stage of exact inference whose data may not
+// be resident in this process. The single-process engine reads the full
+// feature matrix (localFeatures); the sharded engine reads its owned slice
+// and fetches halo rows from their owner ranks (shardFeatures, shard.go).
+// Everything downstream of the gather is identical either way, which is
+// what keeps sharded exact-mode logits bit-identical to single-process
+// ones.
+type featureSource interface {
+	gather(frontier []int32) (*tensor.Matrix, error)
+}
+
+// exactSampler lets a featureSource own exact-mode block extraction when it
+// can exploit partition structure: shardFeatures uses the partition-aware
+// minibatch.FullSampleOwned, so the input frontier arrives already split by
+// owner and the split is computed exactly once per request.
+type exactSampler interface {
+	sampleExact(seeds []int32, hops int) (*minibatch.Sample, *tensor.Matrix, error)
+}
+
 // Engine runs forward-only inference over k-hop blocks. It is safe for
 // concurrent use: the dense and aggregation passes touch only request-local
 // state, and the sampled-mode RNG is guarded by a mutex.
@@ -101,6 +121,7 @@ type Engine struct {
 	sage    []*sageServeLayer
 	gat     []*gatServeLayer
 	feat    *Cache[int32, []float32]
+	src     featureSource
 
 	samplerMu sync.Mutex
 	sampler   *minibatch.Sampler
@@ -137,6 +158,7 @@ func NewEngine(ds *datasets.Dataset, spec ModelSpec, fanouts []int, featureCache
 		spec: spec,
 		feat: NewCache[int32, []float32](featureCacheBytes, 0),
 	}
+	e.src = &localFeatures{feats: ds.Features, cache: e.feat}
 	switch spec.Arch {
 	case ArchGraphSAGE:
 		e.buildSage()
@@ -261,14 +283,25 @@ func (e *Engine) Infer(seeds []int32) (*tensor.Matrix, error) {
 		}
 	}
 	var s *minibatch.Sample
-	if e.sampler != nil {
+	var x *tensor.Matrix
+	var err error
+	switch {
+	case e.sampler != nil:
 		e.samplerMu.Lock()
 		s = e.sampler.Sample(seeds)
 		e.samplerMu.Unlock()
-	} else {
+		x, err = e.src.gather(s.InputFrontier())
+	default:
+		if es, ok := e.src.(exactSampler); ok {
+			s, x, err = es.sampleExact(seeds, e.spec.NumLayers)
+			break
+		}
 		s = minibatch.FullSample(e.ds.G, seeds, e.spec.NumLayers)
+		x, err = e.src.gather(s.InputFrontier())
 	}
-	x := e.gather(s.InputFrontier())
+	if err != nil {
+		return nil, err
+	}
 
 	e.inferences.Add(1)
 	e.seedVertices.Add(int64(len(seeds)))
@@ -280,26 +313,30 @@ func (e *Engine) Infer(seeds []int32) (*tensor.Matrix, error) {
 	return e.forwardSage(s, x), nil
 }
 
-// gather materializes the outermost frontier's raw features, serving rows
-// from the feature cache when resident. With the whole feature matrix
-// resident in this process the cache cannot beat a direct ds.Features.Row
-// copy — it is the stand-in for the remote/out-of-core feature fetch a
-// deployment at real scale pays per miss (the paper's feature-locality
-// cost), and its hit/miss counters in /stats measure exactly the reuse
-// such a tier would capture. The latency win the benchmark demonstrates
-// comes from the embedding cache, which skips inference entirely.
-func (e *Engine) gather(frontier []int32) *tensor.Matrix {
-	x := tensor.New(len(frontier), e.ds.Features.Cols)
+// localFeatures gathers from the full in-process feature matrix, serving
+// rows from the feature cache when resident. With the whole matrix resident
+// the cache cannot beat a direct Row copy — it is the stand-in for the
+// remote/out-of-core feature fetch a deployment at real scale pays per miss
+// (the paper's feature-locality cost; the sharded engine pays it for real
+// over the comm fabric), and its hit/miss counters in /stats measure
+// exactly the reuse such a tier would capture.
+type localFeatures struct {
+	feats *tensor.Matrix
+	cache *Cache[int32, []float32]
+}
+
+func (lf *localFeatures) gather(frontier []int32) (*tensor.Matrix, error) {
+	x := tensor.New(len(frontier), lf.feats.Cols)
 	for i, gv := range frontier {
 		row := x.Row(i)
-		if cached, ok := e.feat.Get(gv); ok {
+		if cached, ok := lf.cache.Get(gv); ok {
 			copy(row, cached)
 			continue
 		}
-		copy(row, e.ds.Features.Row(int(gv)))
-		e.feat.Put(gv, append([]float32(nil), row...), 4*len(row))
+		copy(row, lf.feats.Row(int(gv)))
+		lf.cache.Put(gv, append([]float32(nil), row...), 4*len(row))
 	}
-	return x
+	return x, nil
 }
 
 // forwardSage runs the GCN-aggregator GraphSAGE layers over the sampled or

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -42,8 +43,23 @@ type Config struct {
 	EmbedCacheBytes   int64
 }
 
+// applyDefaults fills the zero-value Config fields with distgnn-train's
+// defaults.
+func (cfg *Config) applyDefaults() {
+	if cfg.Arch == "" {
+		cfg.Arch = ArchGraphSAGE
+	}
+	if cfg.NumLayers == 0 {
+		cfg.NumLayers = 3
+	}
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 64
+	}
+}
+
 // Server is the HTTP inference front end: /predict, /embed, /stats,
-// /healthz.
+// /healthz. In shard mode (NewShard) it additionally routes requests for
+// vertices owned by another rank to that rank's server.
 type Server struct {
 	engine *Engine
 	co     *Coalescer
@@ -51,6 +67,8 @@ type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
 	start  time.Time
+	shard  *shardState // nil in single-process mode
+	proxy  http.Client
 
 	predicts atomic.Int64
 	embeds   atomic.Int64
@@ -61,15 +79,7 @@ type Server struct {
 // shapes disagree with the requested arch/dims fails immediately with a
 // descriptive error rather than serving garbage.
 func New(ds *datasets.Dataset, checkpoint io.Reader, cfg Config) (*Server, error) {
-	if cfg.Arch == "" {
-		cfg.Arch = ArchGraphSAGE
-	}
-	if cfg.NumLayers == 0 {
-		cfg.NumLayers = 3
-	}
-	if cfg.Hidden == 0 {
-		cfg.Hidden = 64
-	}
+	cfg.applyDefaults()
 	eng, err := NewEngine(ds, ModelSpec{
 		Arch: cfg.Arch, Hidden: cfg.Hidden, OutDim: cfg.OutDim,
 		NumLayers: cfg.NumLayers, NumHeads: cfg.NumHeads,
@@ -82,12 +92,18 @@ func New(ds *datasets.Dataset, checkpoint io.Reader, cfg Config) (*Server, error
 			"(distgnn-train prints the hyperparameters next to \"checkpoint written\" — pass the same -arch/-hidden/-layers/-heads here)",
 			eng.Spec(), err)
 	}
+	return newServer(eng, cfg), nil
+}
+
+// newServer assembles the HTTP pipeline around a ready engine.
+func newServer(eng *Engine, cfg Config) *Server {
 	s := &Server{
 		engine: eng,
 		emb:    NewCache[int32, []float32](cfg.EmbedCacheBytes, 0),
 		cfg:    cfg,
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+		proxy:  http.Client{Timeout: 30 * time.Second},
 	}
 	s.co = NewCoalescer(s.inferAndCache, cfg.MaxBatch, cfg.MaxWait)
 	s.mux.HandleFunc("/predict", s.handlePredict)
@@ -97,7 +113,7 @@ func New(ds *datasets.Dataset, checkpoint io.Reader, cfg Config) (*Server, error
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprintln(w, "ok")
 	})
-	return s, nil
+	return s
 }
 
 // Engine exposes the underlying inference engine (benchmarks and tests).
@@ -106,8 +122,22 @@ func (s *Server) Engine() *Engine { return s.engine }
 // Handler returns the HTTP handler for all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the request coalescer.
-func (s *Server) Close() { s.co.Close() }
+// Router returns the shard router, or nil for a single-process server.
+func (s *Server) Router() *Router {
+	if s.shard == nil {
+		return nil
+	}
+	return s.shard.router
+}
+
+// Close stops the request coalescer and, in shard mode, the halo-fetch
+// endpoint. The comm transport stays owned by the caller.
+func (s *Server) Close() {
+	s.co.Close()
+	if s.shard != nil {
+		s.shard.rr.Close()
+	}
+}
 
 // inferAndCache is the coalescer's batch function: one engine pass, then
 // the final-layer rows are published to the embedding cache so later
@@ -146,7 +176,7 @@ type EmbedResponse struct {
 	Embedding []float32 `json:"embedding"`
 }
 
-// Stats is the /stats payload.
+// Stats is the /stats payload. Shard is present only in shard mode.
 type Stats struct {
 	UptimeSeconds  float64        `json:"uptime_seconds"`
 	Arch           Arch           `json:"arch"`
@@ -158,11 +188,12 @@ type Stats struct {
 	Engine         EngineStats    `json:"engine"`
 	FeatureCache   CacheStats     `json:"feature_cache"`
 	EmbeddingCache CacheStats     `json:"embedding_cache"`
+	Shard          *ShardStats    `json:"shard,omitempty"`
 }
 
 // StatsSnapshot returns the same snapshot /stats serves.
 func (s *Server) StatsSnapshot() Stats {
-	return Stats{
+	st := Stats{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Arch:           s.engine.Spec().Arch,
 		Mode:           s.engine.Mode(),
@@ -174,11 +205,67 @@ func (s *Server) StatsSnapshot() Stats {
 		FeatureCache:   s.engine.FeatureCacheStats(),
 		EmbeddingCache: s.emb.Stats(),
 	}
+	if s.shard != nil {
+		sh := s.shard.stats()
+		st.Shard = &sh
+	}
+	return st
+}
+
+// routeIfRemote proxies the request one hop to the vertex's owner rank when
+// this rank is not the owner and the owner's address is known. It reports
+// whether the request was handled (proxied). A request that already carries
+// the routed marker is always served locally — the sharded engine can
+// answer any vertex via halo fetches, so routing is a locality optimization
+// that must terminate, never a correctness requirement.
+func (s *Server) routeIfRemote(w http.ResponseWriter, r *http.Request, vertex int32) bool {
+	if s.shard == nil {
+		return false
+	}
+	if r.Header.Get(routedHeader) != "" {
+		s.shard.routedIn.Add(1)
+		return false
+	}
+	owner := s.shard.router.Owner(vertex)
+	if owner == s.shard.rank {
+		return false
+	}
+	addr := s.shard.router.Addr(owner)
+	if addr == "" {
+		return false
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		addr+r.URL.Path+"?"+r.URL.RawQuery, nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return true
+	}
+	req.Header.Set(routedHeader, "1")
+	resp, err := s.proxy.Do(req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway,
+			fmt.Errorf("routing vertex %d to owner rank %d at %s: %v", vertex, owner, addr, err))
+		return true
+	}
+	defer resp.Body.Close()
+	s.shard.routedOut.Add(1)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	vertex, ok := s.vertexParam(w, r)
 	if !ok {
+		return
+	}
+	if s.routeIfRemote(w, r, vertex) {
 		return
 	}
 	s.predicts.Add(1)
@@ -193,6 +280,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	vertex, ok := s.vertexParam(w, r)
 	if !ok {
+		return
+	}
+	if s.routeIfRemote(w, r, vertex) {
 		return
 	}
 	s.embeds.Add(1)

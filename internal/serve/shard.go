@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"distgnn/internal/comm"
+	"distgnn/internal/datasets"
+	"distgnn/internal/graph"
+	"distgnn/internal/minibatch"
+	"distgnn/internal/nn"
+	"distgnn/internal/partition"
+	"distgnn/internal/tensor"
+)
+
+// shard.go is partition-parallel serving: the engine split across ranks so
+// inference scales past one process the same way training does. Each rank
+// owns one vertex partition (internal/partition's vertex-cut, reduced to a
+// unique owner per vertex) and serves features only from that partition's
+// slice; the graph topology — cheap next to features — is replicated so
+// exact k-hop block extraction enumerates neighbors in the very same CSR
+// order as the single-process engine, which is what keeps exact-mode
+// logits bit-identical across 1, 2, or 4 shards, both transports, and both
+// architectures. The one stage that differs is the input-frontier feature
+// gather: positions owned locally read the resident slab, halo positions
+// are batched into one tagged fetch per owner rank over the comm.Transport
+// (serverpc.go's reserved serve tag range) and cached in a per-rank LRU.
+//
+// Sharding here is of the serving *data path*: after construction the
+// engine reads owned features from the slab and everything else over the
+// fabric, never ds.Features. The synthetic datasets this repo runs on are
+// regenerated whole in every process (there is nothing to download or
+// partially load), so per-process memory still includes the generator's
+// full matrix; a deployment with a real feature store would materialize
+// only the owned slice and the engine would not notice the difference.
+//
+// Routing is stateless: every rank derives the same owner table from the
+// same deterministic partitioning, so any rank can answer any request —
+// requests for vertices owned elsewhere are proxied one hop to the owner,
+// whose embedding cache then accumulates that vertex's traffic.
+
+// routedHeader marks a proxied request so routing terminates after one hop
+// even if two ranks ever disagreed about ownership.
+const routedHeader = "X-Distgnn-Routed"
+
+// PeerAddr names one shard's HTTP endpoint.
+type PeerAddr struct {
+	Rank int
+	Addr string
+}
+
+// Router maps vertices to their owner shard and the owner's HTTP address.
+// Routing depends only on the owner table — peer lists are keyed by rank,
+// so the order peers are supplied in never changes a routing decision.
+type Router struct {
+	owners []int32
+	shards int
+	addrs  []string // rank-indexed; empty string = no HTTP endpoint known
+}
+
+// NewRouter builds a router over an owner table (one owner in [0, shards)
+// per vertex) and an HTTP peer list in any order. Peers are optional: a
+// router with no addresses still answers Owner lookups (engine-only use).
+func NewRouter(owners []int32, shards int, peers []PeerAddr) (*Router, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("serve: router needs ≥1 shard, got %d", shards)
+	}
+	for v, o := range owners {
+		if o < 0 || int(o) >= shards {
+			return nil, fmt.Errorf("serve: vertex %d owned by shard %d outside [0,%d)", v, o, shards)
+		}
+	}
+	r := &Router{owners: owners, shards: shards, addrs: make([]string, shards)}
+	for _, p := range peers {
+		if p.Rank < 0 || p.Rank >= shards {
+			return nil, fmt.Errorf("serve: peer address for rank %d outside [0,%d)", p.Rank, shards)
+		}
+		if r.addrs[p.Rank] != "" && r.addrs[p.Rank] != p.Addr {
+			return nil, fmt.Errorf("serve: conflicting addresses for rank %d: %q and %q",
+				p.Rank, r.addrs[p.Rank], p.Addr)
+		}
+		r.addrs[p.Rank] = p.Addr
+	}
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.shards }
+
+// Owner returns the shard that owns vertex v.
+func (r *Router) Owner(v int32) int { return int(r.owners[v]) }
+
+// Addr returns rank's HTTP address, or "" when none was supplied.
+func (r *Router) Addr(rank int) string {
+	if rank < 0 || rank >= len(r.addrs) {
+		return ""
+	}
+	return r.addrs[rank]
+}
+
+// ShardConfig configures one rank of a sharded serving fleet.
+type ShardConfig struct {
+	// Rank is this engine's rank; Shards the fleet size.
+	Rank, Shards int
+	// Transport is the established comm fabric over exactly Shards ranks —
+	// a single-rank TCP endpoint or the shared in-process transport. It
+	// stays owned by the caller; Server.Close does not close it.
+	Transport comm.Transport
+	// HTTPPeers lists the fleet's HTTP addresses (any order, keyed by
+	// rank) so non-owner ranks can proxy requests to the owner. Optional:
+	// without it every rank answers every vertex locally.
+	HTTPPeers []PeerAddr
+	// PartitionSeed seeds the deterministic partitioning every rank must
+	// derive identically (default 1).
+	PartitionSeed int64
+	// Partitioner assigns edges to partitions; default Libra{Seed:
+	// PartitionSeed}, the paper's vertex-cut.
+	Partitioner partition.Partitioner
+	// RemoteCacheBytes budgets the per-rank LRU of halo features fetched
+	// from peers; 0 defaults to Config.FeatureCacheBytes, negative
+	// disables.
+	RemoteCacheBytes int64
+}
+
+// ShardStats is the per-shard block of /stats: ownership shape, routing
+// traffic, and the halo-fetch hit/miss counters.
+type ShardStats struct {
+	Rank        int    `json:"rank"`
+	Shards      int    `json:"shards"`
+	Partitioner string `json:"partitioner"`
+	// OwnedVertices / HaloVerticesStatic describe the partition itself:
+	// how many vertices this rank owns, and how many clones its partition
+	// holds that are owned elsewhere.
+	OwnedVertices      int `json:"owned_vertices"`
+	HaloVerticesStatic int `json:"halo_vertices_static"`
+	// RoutedOut counts requests proxied to their owner rank; RoutedIn
+	// counts proxied requests that arrived here.
+	RoutedOut int64 `json:"routed_out"`
+	RoutedIn  int64 `json:"routed_in"`
+	// HaloHits/HaloMisses count gather-time halo feature lookups served
+	// from the remote cache vs fetched over the fabric. HaloFetches is the
+	// RPC count (one per owner rank per gather); HaloFetchedVertices the
+	// vertex rows those RPCs carried.
+	HaloHits            int64 `json:"halo_hits"`
+	HaloMisses          int64 `json:"halo_misses"`
+	HaloFetches         int64 `json:"halo_fetches"`
+	HaloFetchedVertices int64 `json:"halo_fetched_vertices"`
+	// PeerServedFetches/PeerServedVertices count the fetch RPCs this rank
+	// answered for its peers.
+	PeerServedFetches  int64      `json:"peer_served_fetches"`
+	PeerServedVertices int64      `json:"peer_served_vertices"`
+	RemoteCache        CacheStats `json:"remote_cache"`
+}
+
+// shardState is one rank's slice of the sharded engine: the owned feature
+// slab, the owner table and router, the remote-feature cache, and the
+// request/reply endpoint answering peers' halo fetches.
+type shardState struct {
+	rank, shards int
+	partitioner  string
+	owners       []int32
+	router       *Router
+	g            *graph.CSR // replicated topology, for owned block extraction
+	slab         *tensor.Matrix // owned feature rows, compact
+	slabRow      []int32        // global vertex → slab row, -1 when not owned
+	featDim      int
+	rr           *comm.ReqRep
+	remote       *Cache[int32, []float32]
+	haloStatic   int
+
+	haloHits       atomic.Int64
+	haloMisses     atomic.Int64
+	haloFetches    atomic.Int64
+	haloVertices   atomic.Int64
+	served         atomic.Int64
+	servedVertices atomic.Int64
+	routedOut      atomic.Int64
+	routedIn       atomic.Int64
+}
+
+func newShardState(ds *datasets.Dataset, cfg Config, sc ShardConfig) (*shardState, error) {
+	if sc.Shards < 1 {
+		return nil, fmt.Errorf("serve: shard count must be ≥1, got %d", sc.Shards)
+	}
+	if sc.Rank < 0 || sc.Rank >= sc.Shards {
+		return nil, fmt.Errorf("serve: shard rank %d outside [0,%d)", sc.Rank, sc.Shards)
+	}
+	if sc.Transport == nil {
+		return nil, fmt.Errorf("serve: shard mode needs a comm.Transport")
+	}
+	if sc.Transport.Size() != sc.Shards {
+		return nil, fmt.Errorf("serve: transport spans %d ranks, shard fleet has %d",
+			sc.Transport.Size(), sc.Shards)
+	}
+	if sc.PartitionSeed == 0 {
+		sc.PartitionSeed = 1
+	}
+	if sc.Partitioner == nil {
+		sc.Partitioner = partition.Libra{Seed: sc.PartitionSeed}
+	}
+	pt, err := partition.Partition(ds.G, sc.Partitioner, sc.Shards, sc.PartitionSeed)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard partitioning: %w", err)
+	}
+	owners := pt.Owners()
+	router, err := NewRouter(owners, sc.Shards, sc.HTTPPeers)
+	if err != nil {
+		return nil, err
+	}
+
+	st := &shardState{
+		rank: sc.Rank, shards: sc.Shards,
+		partitioner: sc.Partitioner.Name(),
+		owners:      owners,
+		router:      router,
+		g:           ds.G,
+		featDim:     ds.Features.Cols,
+		slabRow:     make([]int32, ds.G.NumVertices),
+		haloStatic:  len(pt.Halo(sc.Rank)),
+	}
+	cacheBytes := sc.RemoteCacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = cfg.FeatureCacheBytes
+	}
+	st.remote = NewCache[int32, []float32](cacheBytes, 0)
+
+	// Materialize this rank's feature slice. Everything after this copy
+	// reads the slab, never ds.Features — the engine's view of non-owned
+	// features exists only behind the fetch protocol.
+	owned := 0
+	for v := range st.slabRow {
+		if owners[v] == int32(sc.Rank) {
+			st.slabRow[v] = int32(owned)
+			owned++
+		} else {
+			st.slabRow[v] = -1
+		}
+	}
+	st.slab = tensor.New(owned, st.featDim)
+	for v, row := range st.slabRow {
+		if row >= 0 {
+			copy(st.slab.Row(int(row)), ds.Features.Row(v))
+		}
+	}
+
+	st.rr, err = comm.NewReqRep(sc.Transport, sc.Rank, st.handleFetch)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// handleFetch answers a peer's halo feature fetch: the request is vertex
+// IDs (bit-packed int32s), the reply their owned feature rows concatenated
+// in request order.
+func (st *shardState) handleFetch(from int, req []float32) ([]float32, error) {
+	ids := comm.F32ToInt32s(req)
+	out := make([]float32, 0, len(ids)*st.featDim)
+	for _, v := range ids {
+		if v < 0 || int(v) >= len(st.slabRow) || st.slabRow[v] < 0 {
+			return nil, fmt.Errorf("serve: rank %d does not own vertex %d (fetch from rank %d)",
+				st.rank, v, from)
+		}
+		out = append(out, st.slab.Row(int(st.slabRow[v]))...)
+	}
+	st.served.Add(1)
+	st.servedVertices.Add(int64(len(ids)))
+	return out, nil
+}
+
+// stats snapshots the shard counters.
+func (st *shardState) stats() ShardStats {
+	return ShardStats{
+		Rank: st.rank, Shards: st.shards, Partitioner: st.partitioner,
+		OwnedVertices:       st.slab.Rows,
+		HaloVerticesStatic:  st.haloStatic,
+		RoutedOut:           st.routedOut.Load(),
+		RoutedIn:            st.routedIn.Load(),
+		HaloHits:            st.haloHits.Load(),
+		HaloMisses:          st.haloMisses.Load(),
+		HaloFetches:         st.haloFetches.Load(),
+		HaloFetchedVertices: st.haloVertices.Load(),
+		PeerServedFetches:   st.served.Load(),
+		PeerServedVertices:  st.servedVertices.Load(),
+		RemoteCache:         st.remote.Stats(),
+	}
+}
+
+// shardFeatures is the sharded featureSource: local frontier positions read
+// the slab, halo positions are served from the remote cache or batched into
+// one fetch per owner rank, fanned out concurrently.
+type shardFeatures struct {
+	st *shardState
+}
+
+// sampleExact is the shard engine's exact-mode block extraction: the
+// partition-aware FullSampleOwned builds the identical Sample FullSample
+// would (the bit-identity contract) and hands the input frontier over
+// pre-split by owner, so ownership is resolved once per request.
+func (sf *shardFeatures) sampleExact(seeds []int32, hops int) (*minibatch.Sample, *tensor.Matrix, error) {
+	s, split := minibatch.FullSampleOwned(sf.st.g, seeds, hops, sf.st.owners, sf.st.shards)
+	x, err := sf.gatherSplit(s.InputFrontier(), split)
+	return s, x, err
+}
+
+func (sf *shardFeatures) gather(frontier []int32) (*tensor.Matrix, error) {
+	return sf.gatherSplit(frontier, minibatch.SplitByOwner(frontier, sf.st.owners, sf.st.shards))
+}
+
+func (sf *shardFeatures) gatherSplit(frontier []int32, split [][]int32) (*tensor.Matrix, error) {
+	st := sf.st
+	x := tensor.New(len(frontier), st.featDim)
+
+	for _, i := range split[st.rank] {
+		copy(x.Row(int(i)), st.slab.Row(int(st.slabRow[frontier[i]])))
+	}
+
+	var peers []int
+	var reqs [][]float32
+	var missPos [][]int32
+	for p := 0; p < st.shards; p++ {
+		if p == st.rank || len(split[p]) == 0 {
+			continue
+		}
+		var miss []int32
+		for _, i := range split[p] {
+			v := frontier[i]
+			if row, ok := st.remote.Get(v); ok {
+				st.haloHits.Add(1)
+				copy(x.Row(int(i)), row)
+			} else {
+				st.haloMisses.Add(1)
+				miss = append(miss, i)
+			}
+		}
+		if len(miss) == 0 {
+			continue
+		}
+		ids := make([]int32, len(miss))
+		for j, i := range miss {
+			ids[j] = frontier[i]
+		}
+		peers = append(peers, p)
+		reqs = append(reqs, comm.Int32sToF32(ids))
+		missPos = append(missPos, miss)
+	}
+	if len(peers) == 0 {
+		return x, nil
+	}
+	replies, err := st.rr.CallAll(peers, reqs)
+	if err != nil {
+		return nil, fmt.Errorf("serve: halo fetch: %w", err)
+	}
+	for k, rep := range replies {
+		pos := missPos[k]
+		if len(rep) != len(pos)*st.featDim {
+			return nil, fmt.Errorf("serve: halo fetch from rank %d returned %d floats for %d vertices × %d features",
+				peers[k], len(rep), len(pos), st.featDim)
+		}
+		for j, i := range pos {
+			row := rep[j*st.featDim : (j+1)*st.featDim]
+			copy(x.Row(int(i)), row)
+			st.remote.Put(frontier[i], append([]float32(nil), row...), 4*st.featDim)
+		}
+		st.haloFetches.Add(1)
+		st.haloVertices.Add(int64(len(pos)))
+	}
+	return x, nil
+}
+
+// NewShard builds one rank of a sharded serving fleet: the same
+// checkpoint-loading, coalescing, caching HTTP server New builds, but with
+// the engine's feature gather split across the fleet. Shard mode is
+// exact-only — the bit-identity contract it exists for has no sampled
+// counterpart — so cfg.Fanouts must be empty.
+func NewShard(ds *datasets.Dataset, checkpoint io.Reader, cfg Config, sc ShardConfig) (*Server, error) {
+	if len(cfg.Fanouts) > 0 {
+		return nil, fmt.Errorf("serve: shard mode is exact-only (drop -fanouts)")
+	}
+	cfg.applyDefaults()
+	st, err := newShardState(ds, cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	// Shard mode has no local gathered-feature cache — local rows come
+	// straight from the resident slab; the remote cache covers the fetch
+	// path — so the engine's cache budget is zero.
+	eng, err := NewEngine(ds, ModelSpec{
+		Arch: cfg.Arch, Hidden: cfg.Hidden, OutDim: cfg.OutDim,
+		NumLayers: cfg.NumLayers, NumHeads: cfg.NumHeads,
+	}, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	eng.src = &shardFeatures{st: st}
+	if err := nn.ReadParams(checkpoint, eng.Params()); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint does not match requested model %s: %w "+
+			"(distgnn-train prints the hyperparameters next to \"checkpoint written\" — pass the same -arch/-hidden/-layers/-heads here)",
+			eng.Spec(), err)
+	}
+	s := newServer(eng, cfg)
+	s.shard = st
+	return s, nil
+}

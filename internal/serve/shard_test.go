@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"distgnn/internal/comm"
+	"distgnn/internal/datasets"
+	"distgnn/internal/model"
+	"distgnn/internal/nn"
+	"distgnn/internal/partition"
+	"distgnn/internal/tensor"
+)
+
+// trainedGATCheckpoint trains a small GAT for a few steps and returns the
+// dataset, its full-graph forward output, the serialized checkpoint, and
+// the matching serve Config — the GAT arm of the conformance fixtures.
+func trainedGATCheckpoint(t *testing.T) (*datasets.Dataset, *tensor.Matrix, []byte, Config) {
+	t.Helper()
+	ds, err := datasets.Load("reddit-sim", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := 2
+	out := ((ds.NumClasses + heads - 1) / heads) * heads
+	gat, err := model.NewGAT(ds.G, model.GATConfig{
+		InDim: ds.Features.Cols, Hidden: 16, OutDim: out,
+		NumLayers: 2, NumHeads: heads, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adam := nn.NewAdam(0.01, 0)
+	params := gat.Params()
+	for e := 0; e < 2; e++ {
+		logits := gat.Forward(ds.Features, true)
+		_, dlogits := nn.MaskedCrossEntropy(logits, ds.Labels, ds.TrainIdx)
+		nn.ZeroGrads(params)
+		gat.Backward(dlogits)
+		adam.Step(params)
+	}
+	var buf bytes.Buffer
+	if err := nn.WriteParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Arch: ArchGAT, Hidden: 16, NumLayers: 2, NumHeads: heads, OutDim: out}
+	return ds, gat.Forward(ds.Features, false), buf.Bytes(), cfg
+}
+
+// shardFixture returns one architecture's conformance fixture: dataset,
+// full-graph reference logits, checkpoint, serve config.
+func shardFixture(t *testing.T, arch Arch) (*datasets.Dataset, *tensor.Matrix, []byte, Config) {
+	t.Helper()
+	if arch == ArchGAT {
+		return trainedGATCheckpoint(t)
+	}
+	ds, m, ckpt := trainedSageCheckpoint(t, 16, 2)
+	return ds, m.Forward(ds.Features, false), ckpt, Config{Arch: ArchGraphSAGE, Hidden: 16, NumLayers: 2}
+}
+
+// shardFleet is an in-test sharded serving fleet: one Server per rank, an
+// optional real HTTP listener per rank, and the comm fabric underneath.
+type shardFleet struct {
+	servers []*Server
+	addrs   []string
+	https   []*http.Server
+	fabrics []comm.Transport
+}
+
+// newShardFleet stands a fleet up over the named transport ("inproc" or
+// "tcp"). withHTTP binds a real listener per rank so routing/proxying runs
+// over actual sockets.
+func newShardFleet(t *testing.T, ds *datasets.Dataset, ckpt []byte, cfg Config,
+	shards int, transport string, withHTTP bool, remoteCacheBytes int64) *shardFleet {
+	t.Helper()
+	f := &shardFleet{}
+	switch transport {
+	case "inproc":
+		tr := comm.NewProcTransport(shards)
+		for r := 0; r < shards; r++ {
+			f.fabrics = append(f.fabrics, tr)
+		}
+	case "tcp":
+		eps, err := comm.NewLoopbackTCP(shards, 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.fabrics = eps
+	default:
+		t.Fatalf("unknown transport %q", transport)
+	}
+
+	var peers []PeerAddr
+	var lns []net.Listener
+	if withHTTP {
+		for r := 0; r < shards; r++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lns = append(lns, ln)
+			f.addrs = append(f.addrs, ln.Addr().String())
+			peers = append(peers, PeerAddr{Rank: r, Addr: ln.Addr().String()})
+		}
+	}
+	for r := 0; r < shards; r++ {
+		srv, err := NewShard(ds, bytes.NewReader(ckpt), cfg, ShardConfig{
+			Rank: r, Shards: shards, Transport: f.fabrics[r],
+			HTTPPeers: peers, RemoteCacheBytes: remoteCacheBytes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.servers = append(f.servers, srv)
+		if withHTTP {
+			hs := &http.Server{Handler: srv.Handler()}
+			f.https = append(f.https, hs)
+			go hs.Serve(lns[r])
+		}
+	}
+	return f
+}
+
+func (f *shardFleet) close() {
+	for _, hs := range f.https {
+		hs.Close()
+	}
+	for _, s := range f.servers {
+		s.Close()
+	}
+	seen := map[comm.Transport]bool{}
+	for _, tr := range f.fabrics {
+		if !seen[tr] {
+			seen[tr] = true
+			tr.Close()
+		}
+	}
+}
+
+// TestCrossShardServingConformance is the acceptance pin: exact-mode logits
+// from every rank of a 1-, 2-, and 4-shard engine are bit-identical to the
+// full-graph forward pass — over both transports, both architectures, and
+// both the cold path (halo features crossing the fabric) and the warm path
+// (halo features served from the remote cache).
+func TestCrossShardServingConformance(t *testing.T) {
+	for _, arch := range []Arch{ArchGraphSAGE, ArchGAT} {
+		ds, full, ckpt, cfg := shardFixture(t, arch)
+		probe := []int32{0, 1, 5, 17, int32(ds.G.NumVertices / 2), int32(ds.G.NumVertices - 1)}
+		for _, transport := range []string{"inproc", "tcp"} {
+			for _, shards := range []int{1, 2, 4} {
+				name := fmt.Sprintf("%s/%s/%d-shard", arch, transport, shards)
+				fleet := newShardFleet(t, ds, ckpt, cfg, shards, transport, false, 1<<20)
+				for r, srv := range fleet.servers {
+					// Cold pass: every halo feature crosses the fabric.
+					out, err := srv.Engine().Infer(probe)
+					if err != nil {
+						t.Fatalf("%s rank %d: %v", name, r, err)
+					}
+					for i, v := range probe {
+						bitsEqual(t, out.Row(i), full.Row(int(v)),
+							fmt.Sprintf("%s rank %d cold vs full Forward (vertex %d)", name, r, v))
+					}
+					// Warm pass: the remote cache now holds the halo rows.
+					out, err = srv.Engine().Infer(probe)
+					if err != nil {
+						t.Fatalf("%s rank %d warm: %v", name, r, err)
+					}
+					for i, v := range probe {
+						bitsEqual(t, out.Row(i), full.Row(int(v)),
+							fmt.Sprintf("%s rank %d warm vs full Forward (vertex %d)", name, r, v))
+					}
+					st := srv.StatsSnapshot().Shard
+					if st == nil {
+						t.Fatalf("%s rank %d: no shard stats", name, r)
+					}
+					if shards > 1 {
+						if st.HaloFetches == 0 || st.HaloMisses == 0 {
+							t.Fatalf("%s rank %d: remote path never exercised: %+v", name, r, st)
+						}
+						if st.HaloHits == 0 {
+							t.Fatalf("%s rank %d: warm pass hit no cached halo rows: %+v", name, r, st)
+						}
+					} else if st.HaloFetches != 0 {
+						t.Fatalf("%s: single shard fetched remotely: %+v", name, st)
+					}
+				}
+				fleet.close()
+			}
+		}
+	}
+}
+
+// TestEndToEndTwoShardTCPServe is the integration satellite: train →
+// checkpoint → 2-shard fleet over real TCP comm + real HTTP listeners →
+// /predict on BOTH ranks, asserting the logits are bit-identical to a
+// single-process server loading the same checkpoint. Table-driven over
+// GraphSAGE and GAT.
+func TestEndToEndTwoShardTCPServe(t *testing.T) {
+	for _, arch := range []Arch{ArchGraphSAGE, ArchGAT} {
+		t.Run(string(arch), func(t *testing.T) {
+			ds, full, ckpt, cfg := shardFixture(t, arch)
+			single, err := New(ds, bytes.NewReader(ckpt), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer single.Close()
+
+			fleet := newShardFleet(t, ds, ckpt, cfg, 2, "tcp", true, 1<<20)
+			defer fleet.close()
+
+			probe := []int32{2, 9, 33, int32(ds.G.NumVertices - 2)}
+			for _, v := range probe {
+				ref, err := single.Engine().Infer([]int32{v})
+				if err != nil {
+					t.Fatal(err)
+				}
+				bitsEqual(t, ref.Row(0), full.Row(int(v)), "single-process reference")
+				var bodies [][]byte
+				for r := range fleet.servers {
+					resp, err := http.Get(fmt.Sprintf("http://%s/predict?vertex=%d", fleet.addrs[r], v))
+					if err != nil {
+						t.Fatal(err)
+					}
+					var body bytes.Buffer
+					body.ReadFrom(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Fatalf("rank %d vertex %d: status %d: %s", r, v, resp.StatusCode, body.Bytes())
+					}
+					var pr PredictResponse
+					if err := json.Unmarshal(body.Bytes(), &pr); err != nil {
+						t.Fatal(err)
+					}
+					bitsEqual(t, pr.Logits, ref.Row(0),
+						fmt.Sprintf("rank %d HTTP /predict vertex %d vs single-process", r, v))
+					bodies = append(bodies, body.Bytes())
+				}
+				if !bytes.Equal(bodies[0], bodies[1]) {
+					t.Fatalf("vertex %d: rank responses differ:\n%s\n%s", v, bodies[0], bodies[1])
+				}
+			}
+			// The probe hit both ranks; whichever rank was not the owner
+			// must have proxied.
+			var routed int64
+			for _, srv := range fleet.servers {
+				routed += srv.StatsSnapshot().Shard.RoutedOut
+			}
+			if routed == 0 {
+				t.Fatal("no request was routed to its owner rank")
+			}
+		})
+	}
+}
+
+// TestRouterRoutesToPartitionOwner is the router property test: every
+// vertex routes to exactly its partition owner, and the routing decision is
+// invariant under any permutation of the peer list.
+func TestRouterRoutesToPartitionOwner(t *testing.T) {
+	ds, err := datasets.Load("reddit-sim", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	pt, err := partition.Partition(ds.G, partition.Libra{Seed: 1}, shards, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := pt.Owners()
+	peers := make([]PeerAddr, shards)
+	for r := range peers {
+		peers[r] = PeerAddr{Rank: r, Addr: fmt.Sprintf("10.0.0.%d:84%02d", r, r)}
+	}
+	ref, err := NewRouter(owners, shards, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 8; trial++ {
+		shuffled := append([]PeerAddr(nil), peers...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		router, err := NewRouter(owners, shards, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < ds.G.NumVertices; v++ {
+			o := router.Owner(int32(v))
+			if o != int(owners[v]) {
+				t.Fatalf("trial %d: vertex %d routed to %d, partition owner is %d", trial, v, o, owners[v])
+			}
+			if pt.LocalOf[o][v] < 0 {
+				t.Fatalf("trial %d: vertex %d routed to shard %d holding no clone", trial, v, o)
+			}
+			if router.Addr(o) != ref.Addr(o) {
+				t.Fatalf("trial %d: rank %d address moved under permutation", trial, o)
+			}
+		}
+	}
+	// Defined misuse: owner out of range, conflicting peer addresses.
+	if _, err := NewRouter([]int32{0, 5}, 2, nil); err == nil {
+		t.Fatal("out-of-range owner must be rejected")
+	}
+	if _, err := NewRouter(owners, shards, []PeerAddr{
+		{Rank: 0, Addr: "a:1"}, {Rank: 0, Addr: "b:2"},
+	}); err == nil {
+		t.Fatal("conflicting addresses for one rank must be rejected")
+	}
+	if _, err := NewRouter(owners, shards, []PeerAddr{{Rank: shards, Addr: "a:1"}}); err == nil {
+		t.Fatal("peer rank outside the fleet must be rejected")
+	}
+}
+
+// TestShardRaceConcurrentCrossShardFanOut drives the coalescer, the remote
+// halo cache, and the fetch protocol from concurrent clients on both ranks
+// at once — the race-mode satellite. The remote cache budget is tiny so
+// concurrent gathers race Get/Put/evict on the same shard locks, and every
+// response must still carry the vertex's own bit-exact logits.
+func TestShardRaceConcurrentCrossShardFanOut(t *testing.T) {
+	ds, m, ckpt := trainedSageCheckpoint(t, 16, 2)
+	cfg := Config{Arch: ArchGraphSAGE, Hidden: 16, NumLayers: 2,
+		MaxBatch: 8, MaxWait: time.Millisecond, EmbedCacheBytes: 1 << 18}
+	fleet := newShardFleet(t, ds, ckpt, cfg, 2, "inproc", true, 1<<15)
+	defer fleet.close()
+	full := m.Forward(ds.Features, false)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				v := (w*13 + i*7) % ds.G.NumVertices
+				// Alternate entry rank so both routing directions and both
+				// coalescers run concurrently.
+				entry := (w + i) % 2
+				if i%3 == 2 {
+					// Direct engine path races the HTTP path on the same caches.
+					out, err := fleet.servers[entry].Engine().Infer([]int32{int32(v)})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := rowsMatch(out.Row(0), full.Row(v)); err != nil {
+						errs <- fmt.Errorf("engine rank %d vertex %d: %w", entry, v, err)
+						return
+					}
+					continue
+				}
+				resp, err := http.Get(fmt.Sprintf("http://%s/predict?vertex=%d", fleet.addrs[entry], v))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var pr PredictResponse
+				err = json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := rowsMatch(pr.Logits, full.Row(v)); err != nil {
+					errs <- fmt.Errorf("HTTP rank %d vertex %d: %w", entry, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The tiny budget must actually have caused cache churn somewhere.
+	var puts int64
+	for _, srv := range fleet.servers {
+		puts += srv.StatsSnapshot().Shard.RemoteCache.Puts
+	}
+	if puts == 0 {
+		t.Fatal("remote cache never exercised under fan-out")
+	}
+}
+
+// rowsMatch is bitsEqual as an error (for goroutine use).
+func rowsMatch(got, want []float32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("length %d != %d", len(got), len(want))
+	}
+	for j := range got {
+		if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+			return fmt.Errorf("col %d: %v (%#x) != %v (%#x)",
+				j, got[j], math.Float32bits(got[j]), want[j], math.Float32bits(want[j]))
+		}
+	}
+	return nil
+}
+
+// TestShardModeRejectsMisconfiguration pins the fail-fast contract for the
+// sharded constructor.
+func TestShardModeRejectsMisconfiguration(t *testing.T) {
+	ds, _, ckpt := trainedSageCheckpoint(t, 16, 2)
+	cfg := Config{Arch: ArchGraphSAGE, Hidden: 16, NumLayers: 2}
+	tr := comm.NewProcTransport(2)
+	defer tr.Close()
+	cases := []struct {
+		name string
+		cfg  Config
+		sc   ShardConfig
+	}{
+		{"sampled", Config{Arch: ArchGraphSAGE, Hidden: 16, NumLayers: 2, Fanouts: []int{5, 5}},
+			ShardConfig{Rank: 0, Shards: 2, Transport: tr}},
+		{"no transport", cfg, ShardConfig{Rank: 0, Shards: 2}},
+		{"rank out of range", cfg, ShardConfig{Rank: 2, Shards: 2, Transport: tr}},
+		{"world mismatch", cfg, ShardConfig{Rank: 0, Shards: 3, Transport: tr}},
+	}
+	for _, tc := range cases {
+		if _, err := NewShard(ds, bytes.NewReader(ckpt), tc.cfg, tc.sc); err == nil {
+			t.Fatalf("%s: misconfiguration accepted", tc.name)
+		}
+	}
+}
