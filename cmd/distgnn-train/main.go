@@ -32,6 +32,7 @@ import (
 	"distgnn/internal/graphio"
 	"distgnn/internal/model"
 	"distgnn/internal/nn"
+	"distgnn/internal/quant"
 	"distgnn/internal/train"
 )
 
@@ -57,6 +58,10 @@ func main() {
 		"kernel worker-pool size, the OMP_NUM_THREADS analogue (0 = GOMAXPROCS)")
 	autotune := flag.Bool("autotune", false,
 		"benchmark aggregation-kernel variants on the dataset and use the fastest (replaces the built-in heuristic)")
+	tuneCache := flag.String("tune-cache", "",
+		"with -autotune: directory of persisted tuning profiles keyed by (dataset, width, workers, machine); a valid profile skips the sweep")
+	featPrec := flag.String("feat-precision", "fp32",
+		"input-feature storage: fp32, or bf16 (features rounded once into a 16-bit slab the aggregation kernels decode on load; single-socket only)")
 	transport := flag.String("transport", "inproc",
 		"comm fabric for -sockets >1: inproc (every rank a goroutine in this process) or tcp (this process is one rank of a multi-process fleet)")
 	rank := flag.Int("rank", 0, "tcp: this process's rank")
@@ -116,11 +121,18 @@ func main() {
 			ds.Features.Cols, ds.NumClasses)
 	}
 
-	mc := model.Config{Hidden: *hidden, NumLayers: *layers, Seed: *seed, AutoTuneAgg: *autotune}
+	prec, err := parseFeatPrecision(*featPrec)
+	if err != nil {
+		fatal(err)
+	}
+	mc := model.Config{
+		Hidden: *hidden, NumLayers: *layers, Seed: *seed,
+		AutoTuneAgg: *autotune, TuneCacheDir: *tuneCache,
+	}
 	if *sockets <= 1 {
 		res, err := train.SingleSocket(ds, train.SingleConfig{
 			Model: mc, Epochs: *epochs, LR: *lr, WeightDecay: *wd, UseAdam: *adam,
-			Workers: *workers,
+			Workers: *workers, FeatPrecision: prec,
 		})
 		if err != nil {
 			fatal(err)
@@ -160,6 +172,11 @@ func main() {
 		return
 	}
 
+	if prec != quant.FP32 {
+		// The distributed partial-aggregate exchange and its conformance
+		// pins are defined over fp32 inputs.
+		fatal(fmt.Errorf("-feat-precision %s requires -sockets 1 (distributed training is fp32-only)", *featPrec))
+	}
 	start := time.Now()
 	res, err := train.Distributed(ds, train.DistConfig{
 		Model: mc, NumPartitions: *sockets, Algo: train.Algorithm(*algo),
@@ -253,6 +270,20 @@ func waitChildren(children []*exec.Cmd) {
 func checkFiniteLoss(loss float64) {
 	if math.IsNaN(loss) || math.IsInf(loss, 0) {
 		fatal(fmt.Errorf("training diverged: final loss %v is not finite", loss))
+	}
+}
+
+// parseFeatPrecision maps the -feat-precision flag to a storage format.
+// Only fp32 and bf16 are feature formats (fp16 is a wire format for
+// gradients and partial aggregates, not a kernel input).
+func parseFeatPrecision(s string) (quant.Precision, error) {
+	switch s {
+	case "fp32":
+		return quant.FP32, nil
+	case "bf16":
+		return quant.BF16, nil
+	default:
+		return 0, fmt.Errorf("unknown -feat-precision %q (fp32 or bf16)", s)
 	}
 }
 

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func envelope(calib float64, metrics map[string]float64) MetricsEnvelope {
+	return MetricsEnvelope{
+		Experiment: "abl-kernels", Scale: 0.05, Epochs: 2,
+		Metrics: metrics, CalibSeconds: calib,
+	}
+}
+
+// A clean run — every metric within tolerance on an equal-speed machine —
+// must pass, including a slightly slower metric under the 15% budget.
+func TestCheckRegressionPasses(t *testing.T) {
+	base := envelope(0.01, map[string]float64{"agg_fused_fp32_d64_s": 1.0, "train_epoch_fp32_s": 2.0})
+	cur := envelope(0.01, map[string]float64{"agg_fused_fp32_d64_s": 1.10, "train_epoch_fp32_s": 1.9})
+	if fails := CheckRegression(base, cur, DefaultTolerance); len(fails) != 0 {
+		t.Fatalf("expected pass, got %v", fails)
+	}
+}
+
+// A synthetic 30% slowdown on one metric must fail, and the failure must
+// name the metric — this is the property the CI gate rests on.
+func TestCheckRegressionCatchesSlowdown(t *testing.T) {
+	base := envelope(0.01, map[string]float64{"agg_fused_fp32_d64_s": 1.0, "train_epoch_fp32_s": 2.0})
+	cur := envelope(0.01, map[string]float64{"agg_fused_fp32_d64_s": 1.30, "train_epoch_fp32_s": 2.0})
+	fails := CheckRegression(base, cur, DefaultTolerance)
+	if len(fails) != 1 {
+		t.Fatalf("expected exactly one failure, got %v", fails)
+	}
+	if !strings.Contains(fails[0], "agg_fused_fp32_d64_s") {
+		t.Fatalf("failure does not name the regressed metric: %s", fails[0])
+	}
+}
+
+// The same 30% raw slowdown is forgiven when the calibration workload shows
+// the current machine is 1.4× slower — cross-machine noise must not gate.
+func TestCheckRegressionCalibrationForgivesSlowerMachine(t *testing.T) {
+	base := envelope(0.010, map[string]float64{"agg_fused_fp32_d64_s": 1.0})
+	cur := envelope(0.014, map[string]float64{"agg_fused_fp32_d64_s": 1.30})
+	if fails := CheckRegression(base, cur, DefaultTolerance); len(fails) != 0 {
+		t.Fatalf("calibration scaling should forgive a slower machine, got %v", fails)
+	}
+	// And conversely: a faster machine's budget shrinks, so the same raw
+	// number that passed above fails when calibration says 1.4× faster.
+	fast := envelope(0.010/1.4, map[string]float64{"agg_fused_fp32_d64_s": 1.0})
+	if fails := CheckRegression(base, fast, DefaultTolerance); len(fails) != 1 {
+		t.Fatalf("faster machine with flat wall time should fail the shrunk budget, got %v", fails)
+	}
+}
+
+// A baseline metric absent from the current run is a failure (a silently
+// dropped metric must not read as a pass), while extra current-only
+// metrics are ignored until -update-baseline records them.
+func TestCheckRegressionMissingAndExtraMetrics(t *testing.T) {
+	base := envelope(0.01, map[string]float64{"agg_fused_fp32_d64_s": 1.0})
+	cur := envelope(0.01, map[string]float64{"brand_new_metric_s": 0.5})
+	fails := CheckRegression(base, cur, DefaultTolerance)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("expected one missing-metric failure, got %v", fails)
+	}
+}
+
+// Envelope shape mismatches (experiment, scale, epochs) fail outright: a
+// baseline from a different configuration cannot vouch for this run.
+func TestCheckRegressionShapeMismatch(t *testing.T) {
+	base := envelope(0.01, map[string]float64{"m": 1})
+	cur := base
+	cur.Experiment = "abl-serve"
+	cur.Scale = 0.5
+	cur.Epochs = 3
+	fails := CheckRegression(base, cur, DefaultTolerance)
+	if len(fails) != 3 {
+		t.Fatalf("expected experiment+scale+epochs failures, got %v", fails)
+	}
+}
+
+func TestCalibrationSecondsPositive(t *testing.T) {
+	sec := CalibrationSeconds()
+	if !(sec > 0) {
+		t.Fatalf("calibration workload measured %v seconds", sec)
+	}
+}

@@ -61,8 +61,15 @@ type ServeBenchRow struct {
 type ServeBenchReport struct {
 	Experiment string          `json:"experiment"`
 	Scale      float64         `json:"scale"`
+	Epochs     int             `json:"epochs"`
 	Mode       string          `json:"mode"`
 	Results    []ServeBenchRow `json:"results"`
+	// Metrics and CalibSeconds are the regression-gate envelope (see
+	// regress.go): p95 of the canonical compute-bound arm — concurrency 8,
+	// coalesced, cold caches, where latency is dominated by inference
+	// rather than loopback-HTTP scheduling noise.
+	Metrics      map[string]float64 `json:"metrics"`
+	CalibSeconds float64            `json:"calib_seconds"`
 	// CoalescingQPSGainC8 is coalesced QPS / batch-of-1 QPS at concurrency
 	// 8, cold caches — the batching lever (must exceed 1).
 	CoalescingQPSGainC8 float64 `json:"coalescing_qps_gain_c8"`
@@ -98,7 +105,7 @@ func AblationServe(opt Options) error {
 		workSet[i] = int32((i * step) % ds.G.NumVertices)
 	}
 
-	report := ServeBenchReport{Experiment: "abl-serve", Scale: opt.scale(), Mode: "exact"}
+	report := ServeBenchReport{Experiment: "abl-serve", Scale: opt.scale(), Epochs: opt.epochs(5), Mode: "exact"}
 	t := &table{header: []string{"clients", "batching", "cache", "QPS", "p50", "p95", "p99", "avg batch", "emb hit"}}
 	for _, conc := range []int{1, 8} {
 		for _, batching := range []bool{false, true} {
@@ -159,6 +166,13 @@ func AblationServe(opt Options) error {
 	}
 	fmt.Fprintf(opt.Out, "\ncoalescing QPS gain @8 clients: %.2fx (want >1)   warm/cold p50: %.2f (want <1)\n",
 		report.CoalescingQPSGainC8, report.WarmOverColdP50)
+
+	if canon := lookup(8, serveBenchMaxBatch, false); canon != nil {
+		report.Metrics = map[string]float64{
+			"serve_p95_ms": canon.P95MS,
+		}
+	}
+	report.CalibSeconds = CalibrationSeconds()
 
 	if opt.JSON != nil {
 		enc := json.NewEncoder(opt.JSON)

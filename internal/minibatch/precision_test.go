@@ -1,0 +1,122 @@
+package minibatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distgnn/internal/quant"
+	"distgnn/internal/spmm"
+	"distgnn/internal/tensor"
+)
+
+// TestForwardFusedMatchesUnfusedGather pins the trainer-level fusion
+// contract: a forward pass through the fused layer-0 kernel must produce
+// byte-for-byte the logits of gathering the input frontier into a matrix
+// and aggregating with AggregateGCN — the reference path gatherFeatures
+// still implements.
+func TestForwardFusedMatchesUnfusedGather(t *testing.T) {
+	ds := testDS(t)
+	sampler, err := NewSampler(ds.G, []int{6, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampler.Sample(ds.TrainIdx[:40])
+	feats := spmm.RowsOf(ds.Features)
+
+	// Reference: materialize the gather, then run the same layer stack with
+	// the unfused block aggregate for every layer.
+	x := gatherFeatures(feats, s.InputFrontier())
+	m := newMBModel(ds.Features.Cols, 8, ds.NumClasses, 2, rand.New(rand.NewSource(5)))
+	var want *tensor.Matrix
+	{
+		h := x
+		for l := len(s.Blocks) - 1; l >= 0; l-- {
+			layer := len(s.Blocks) - 1 - l
+			blk := s.Blocks[l]
+			agg := AggregateGCN(blk, h, blk.Norms())
+			h = m.layers[layer].Forward(agg, false)
+			if m.relus[layer] != nil {
+				h = m.relus[layer].Forward(h, false)
+			}
+		}
+		want = h
+	}
+
+	got := m.forward(s, feats, false)
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %dx%d vs %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("fused forward diverges at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestTrainBF16LearnsAndTracksFP32 is the bf16 accuracy trade-off check:
+// training over the rounded slab must converge (finite, decreasing loss)
+// and land within a coarse tolerance of the fp32 run's test accuracy.
+func TestTrainBF16LearnsAndTracksFP32(t *testing.T) {
+	ds := testDS(t)
+	base := Config{
+		Hidden: 16, NumLayers: 2, Fanouts: []int{8, 5},
+		BatchSize: 64, Epochs: 4, LR: 0.05, UseAdam: true, Seed: 11,
+	}
+	fp32, err := Train(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfCfg := base
+	bfCfg.FeatPrecision = quant.BF16
+	bf16, err := Train(ds, bfCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := bf16.Epochs[len(bf16.Epochs)-1].Loss
+	if math.IsNaN(last) || math.IsInf(last, 0) {
+		t.Fatalf("bf16 loss not finite: %v", last)
+	}
+	if last >= bf16.Epochs[0].Loss {
+		t.Fatalf("bf16 loss did not decrease: %v → %v", bf16.Epochs[0].Loss, last)
+	}
+	if diff := bf16.TestAcc - fp32.TestAcc; diff < -0.10 || diff > 0.10 {
+		t.Fatalf("bf16 accuracy %v strays from fp32 %v by more than 0.10", bf16.TestAcc, fp32.TestAcc)
+	}
+}
+
+// TestTrainRejectsUnknownPrecision: only fp32 and bf16 are feature formats
+// (fp16 is a wire format for gradients, not a kernel input).
+func TestTrainRejectsUnknownPrecision(t *testing.T) {
+	ds := testDS(t)
+	cfg := Config{
+		Hidden: 8, NumLayers: 1, Fanouts: []int{4},
+		BatchSize: 32, Epochs: 1, LR: 0.1, Seed: 1,
+		FeatPrecision: quant.FP16,
+	}
+	if _, err := Train(ds, cfg); err == nil {
+		t.Fatal("fp16 feature precision must be rejected")
+	}
+}
+
+// TestAggregateGCNFromBF16MatchesDecoded: the fused bf16 block aggregate
+// equals the fp32 aggregate over the decoded slab, bitwise.
+func TestAggregateGCNFromBF16MatchesDecoded(t *testing.T) {
+	ds := testDS(t)
+	sampler, err := NewSampler(ds.G, []int{7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampler.Sample(ds.TrainIdx[:30])
+	blk := s.Blocks[0]
+	frontier := s.InputFrontier()
+
+	slab := tensor.BF16FromMatrix(ds.Features)
+	want := AggregateGCNFrom(blk, spmm.RowsOf(slab.ToMatrix()), frontier)
+	got := AggregateGCNFrom(blk, spmm.RowsOfBF16(slab), frontier)
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("bf16 block aggregate diverges at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"distgnn/internal/datasets"
 	"distgnn/internal/nn"
 	"distgnn/internal/parallel"
+	"distgnn/internal/quant"
+	"distgnn/internal/spmm"
 	"distgnn/internal/tensor"
 )
 
@@ -24,6 +26,12 @@ type Config struct {
 	// Workers sizes the process-wide kernel worker pool for this run — the
 	// OMP_NUM_THREADS knob. 0 keeps the current pool.
 	Workers int
+	// FeatPrecision selects the input-feature storage format. quant.FP32
+	// (the zero value) reads the dataset's float32 matrix; quant.BF16
+	// rounds the features once into a 16-bit slab that the fused layer-0
+	// kernel decodes on load — half the feature-read traffic, float32
+	// accumulation, model math otherwise unchanged.
+	FeatPrecision quant.Precision
 }
 
 // EpochStat is one mini-batch epoch: loss averaged over batches, wall time,
@@ -62,10 +70,8 @@ type mbModel struct {
 	relus  []*nn.ReLU
 	dims   []int // aggregate input width per layer
 
-	// caches per layer for backward.
+	// blocks caches the sample's blocks per layer for backward.
 	blocks []*Block
-	aggIn  []*tensor.Matrix // src features entering each layer
-	aggOut []*tensor.Matrix // normalized aggregate (Linear input)
 }
 
 func newMBModel(inDim, hidden, outDim, numLayers int, rng *rand.Rand) *mbModel {
@@ -147,18 +153,40 @@ func aggregateBlockBackward(b *Block, dAgg *tensor.Matrix, numSrc int) *tensor.M
 	return dx
 }
 
+// AggregateGCNFrom is AggregateGCN fused with the frontier gather: it
+// streams rows straight out of the global feature store (fp32 or bf16) via
+// spmm.GatherAggGCNSum instead of first materializing the |frontier|×d
+// gathered matrix. For fp32 sources the float-op order is exactly
+// gather-then-AggregateGCN, so results are bit-identical to the unfused
+// path; bf16 sources decode on load and accumulate in float32.
+func AggregateGCNFrom(b *Block, feats spmm.FeatRows, frontier []int32) *tensor.Matrix {
+	out := tensor.New(b.NumDst, feats.Cols())
+	if err := spmm.GatherAggGCNSum(out, feats, frontier, b.Indptr, b.Indices, b.SelfIdx, b.Norms()); err != nil {
+		// Block invariants come from the sampler; a shape mismatch here is a
+		// programming error, not a runtime condition.
+		panic("minibatch: " + err.Error())
+	}
+	return out
+}
+
 // forward runs the sampled layers from the outermost frontier inward and
-// returns logits for the seed vertices.
-func (m *mbModel) forward(s *Sample, x *tensor.Matrix, training bool) *tensor.Matrix {
+// returns logits for the seed vertices. feats is the global vertex-feature
+// store; the outermost layer aggregates directly from it through the fused
+// gather→aggregate kernel (the input frontier's features are never
+// materialized as a matrix).
+func (m *mbModel) forward(s *Sample, feats spmm.FeatRows, training bool) *tensor.Matrix {
 	m.blocks = m.blocks[:0]
-	m.aggIn = m.aggIn[:0]
-	h := x
+	var h *tensor.Matrix
 	for l := len(s.Blocks) - 1; l >= 0; l-- {
 		layer := len(s.Blocks) - 1 - l
 		blk := s.Blocks[l]
 		m.blocks = append(m.blocks, blk)
-		m.aggIn = append(m.aggIn, h)
-		agg := AggregateGCN(blk, h, blk.Norms())
+		var agg *tensor.Matrix
+		if layer == 0 {
+			agg = AggregateGCNFrom(blk, feats, s.InputFrontier())
+		} else {
+			agg = AggregateGCN(blk, h, blk.Norms())
+		}
 		h = m.layers[layer].Forward(agg, training)
 		if m.relus[layer] != nil {
 			h = m.relus[layer].Forward(h, training)
@@ -176,7 +204,7 @@ func (m *mbModel) backward(dlogits *tensor.Matrix) {
 		}
 		dAgg := m.layers[layer].Backward(dy)
 		blk := m.blocks[layer]
-		dy = aggregateBlockBackward(blk, dAgg, m.aggIn[layer].Rows)
+		dy = aggregateBlockBackward(blk, dAgg, blk.NumSrc)
 	}
 }
 
@@ -191,6 +219,10 @@ func Train(ds *datasets.Dataset, cfg Config) (*Result, error) {
 	}
 	if cfg.Workers > 0 {
 		parallel.Configure(parallel.Config{Workers: cfg.Workers})
+	}
+	feats, err := featRowsFor(ds, cfg.FeatPrecision)
+	if err != nil {
+		return nil, err
 	}
 	sampler, err := NewSampler(ds.G, cfg.Fanouts, cfg.Seed)
 	if err != nil {
@@ -219,8 +251,7 @@ func Train(ds *datasets.Dataset, cfg Config) (*Result, error) {
 			}
 			seeds := train[off:end]
 			s := sampler.Sample(seeds)
-			x := gatherFeatures(ds, s.InputFrontier())
-			logits := m.forward(s, x, true)
+			logits := m.forward(s, feats, true)
 
 			localLabels := make([]int32, len(seeds))
 			mask := make([]int32, len(seeds))
@@ -244,8 +275,21 @@ func Train(ds *datasets.Dataset, cfg Config) (*Result, error) {
 		res.Epochs = append(res.Epochs, st)
 	}
 
-	res.TestAcc = evaluate(ds, sampler, m, cfg.BatchSize)
+	res.TestAcc = evaluate(ds, sampler, m, cfg.BatchSize, feats)
 	return res, nil
+}
+
+// featRowsFor builds the feature row store Train and TrainDistributed read
+// from: the dataset matrix as-is for fp32, or a one-time rounded bf16 slab.
+func featRowsFor(ds *datasets.Dataset, p quant.Precision) (spmm.FeatRows, error) {
+	switch p {
+	case quant.FP32:
+		return spmm.RowsOf(ds.Features), nil
+	case quant.BF16:
+		return spmm.RowsOfBF16(tensor.BF16FromMatrix(ds.Features)), nil
+	default:
+		return spmm.FeatRows{}, fmt.Errorf("minibatch: unsupported feature precision %v (fp32 or bf16)", p)
+	}
 }
 
 // sampledWork counts aggregation element updates per hop: sampled edges ×
@@ -262,16 +306,19 @@ func sampledWork(s *Sample, dims []int) int64 {
 	return total
 }
 
-func gatherFeatures(ds *datasets.Dataset, frontier []int32) *tensor.Matrix {
-	x := tensor.New(len(frontier), ds.Features.Cols)
+// gatherFeatures materializes the frontier's feature rows as an fp32 matrix
+// — the unfused reference path the fused kernel is pinned against, kept for
+// callers that need the gathered matrix itself (and for tests).
+func gatherFeatures(feats spmm.FeatRows, frontier []int32) *tensor.Matrix {
+	x := tensor.New(len(frontier), feats.Cols())
 	for i, g := range frontier {
-		copy(x.Row(i), ds.Features.Row(int(g)))
+		feats.CopyRow(x.Row(i), int(g))
 	}
 	return x
 }
 
 // evaluate scores test vertices with sampled inference (same fan-outs).
-func evaluate(ds *datasets.Dataset, sampler *Sampler, m *mbModel, batch int) float64 {
+func evaluate(ds *datasets.Dataset, sampler *Sampler, m *mbModel, batch int, feats spmm.FeatRows) float64 {
 	if len(ds.TestIdx) == 0 {
 		return 0
 	}
@@ -283,8 +330,7 @@ func evaluate(ds *datasets.Dataset, sampler *Sampler, m *mbModel, batch int) flo
 		}
 		seeds := ds.TestIdx[off:end]
 		s := sampler.Sample(seeds)
-		x := gatherFeatures(ds, s.InputFrontier())
-		logits := m.forward(s, x, false)
+		logits := m.forward(s, feats, false)
 		pred := make([]int, logits.Rows)
 		logits.ArgmaxRows(pred)
 		for i, g := range seeds {

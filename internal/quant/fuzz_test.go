@@ -172,3 +172,120 @@ func TestPackAppendsToDst(t *testing.T) {
 		t.Fatalf("append semantics broken: %v", vals)
 	}
 }
+
+// FuzzBF16CodeIdempotent: every bf16 code is a fixed point of
+// encode∘decode — decoding a 16-bit word and re-encoding it must hand back
+// the same word (NaN codes may renormalize but must stay NaN). This is the
+// property that makes bf16 feature storage stable: re-rounding an
+// already-rounded matrix is the identity, so a slab can be rebuilt from
+// its own decoded values without drift.
+func FuzzBF16CodeIdempotent(f *testing.F) {
+	for _, h := range []uint16{
+		0, 0x8000, // ±0
+		0x3F80, 0xBFC0, // ±normals
+		0x0001, 0x8001, // smallest subnormals
+		0x7F7F, 0xFF7F, // ±max finite
+		0x7F80, 0xFF80, // ±Inf
+		0x7FC0, 0x7F81, // NaNs
+	} {
+		f.Add(h)
+	}
+	f.Fuzz(func(t *testing.T, h uint16) {
+		v := BF16Decode(h)
+		h2 := BF16Encode(v)
+		if math.IsNaN(float64(v)) {
+			if !math.IsNaN(float64(BF16Decode(h2))) {
+				t.Fatalf("NaN code %#04x re-encoded to non-NaN %#04x", h, h2)
+			}
+			return
+		}
+		if h2 != h {
+			t.Fatalf("code %#04x (%v) re-encoded to %#04x: encode∘decode not the identity", h, v, h2)
+		}
+	})
+}
+
+// checkBF16RNE verifies BF16Encode against an independent round-to-nearest-
+// even reference built from the two bracketing bf16 codes: truncation
+// toward zero and its successor away from zero. The encoder must pick the
+// nearer value, and break exact ties toward the code with an even (clear)
+// low mantissa bit. The reference shares no arithmetic with the encoder's
+// add-rounding-bias implementation.
+func checkBF16RNE(t *testing.T, bits uint32) {
+	t.Helper()
+	v := math.Float32frombits(bits)
+	if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+		return // covered by FuzzBF16RoundTrip
+	}
+	h := BF16Encode(v)
+	lo := uint16(bits >> 16)
+	if uint32(lo)<<16 == bits {
+		if h != lo {
+			t.Fatalf("exactly representable %v must encode to itself: got %#04x want %#04x", v, h, lo)
+		}
+		return
+	}
+	hi := lo + 1
+	val := func(c uint16) float64 {
+		d := BF16Decode(c)
+		if math.IsInf(float64(d), 0) {
+			// The rounding boundary above the max finite bf16 is 2^128.
+			return math.Copysign(math.Ldexp(1, 128), float64(d))
+		}
+		return float64(d)
+	}
+	dLo := math.Abs(float64(v) - val(lo))
+	dHi := math.Abs(val(hi) - float64(v))
+	want := lo
+	switch {
+	case dHi < dLo:
+		want = hi
+	case dLo < dHi:
+		want = lo
+	default: // exact tie: even mantissa wins, and hi = lo+1 flips the low bit
+		if lo&1 == 1 {
+			want = hi
+		}
+	}
+	if h != want {
+		t.Fatalf("%v (bits %#08x): encoded %#04x, RNE reference %#04x (bracket %v / %v)",
+			v, bits, h, want, val(lo), val(hi))
+	}
+}
+
+// FuzzBF16RoundToNearestEven fuzzes the RNE property over raw float32 bit
+// patterns.
+func FuzzBF16RoundToNearestEven(f *testing.F) {
+	fuzzSeeds(f)
+	// Halfway patterns: mantissa tail exactly 0x8000 above even and odd
+	// truncations — the tie-to-even cases.
+	f.Add(uint32(0x3F808000))
+	f.Add(uint32(0x3F818000))
+	f.Add(uint32(0xBF818000))
+	f.Fuzz(func(t *testing.T, bits uint32) { checkBF16RNE(t, bits) })
+}
+
+// TestBF16RNERandomSweep drives the RNE reference over a uniform random
+// sweep of bit patterns so the property also runs under plain `go test`.
+func TestBF16RNERandomSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200000; i++ {
+		checkBF16RNE(t, rng.Uint32())
+	}
+	// And the code-idempotency companion over every one of the 65536 codes
+	// — exhaustive, cheap, and fuzzer-independent.
+	for c := 0; c <= 0xFFFF; c++ {
+		h := uint16(c)
+		v := BF16Decode(h)
+		h2 := BF16Encode(v)
+		if math.IsNaN(float64(v)) {
+			if !math.IsNaN(float64(BF16Decode(h2))) {
+				t.Fatalf("NaN code %#04x re-encoded to non-NaN %#04x", h, h2)
+			}
+			continue
+		}
+		if h2 != h {
+			t.Fatalf("code %#04x (%v) re-encoded to %#04x", h, v, h2)
+		}
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"distgnn/internal/datasets"
 	"distgnn/internal/minibatch"
 	"distgnn/internal/nn"
+	"distgnn/internal/quant"
+	"distgnn/internal/spmm"
 	"distgnn/internal/tensor"
 )
 
@@ -52,6 +54,14 @@ type ModelSpec struct {
 	// LeakySlope is GAT's LeakyReLU negative slope; defaults to 0.2 to
 	// match model.NewGAT.
 	LeakySlope float64
+	// FeatPrecision selects how the engine stores input features:
+	// quant.FP32 (zero value) reads the dataset matrix; quant.BF16 rounds
+	// it once at engine construction into a 16-bit slab, halving resident
+	// feature bytes and read traffic. Inference then runs over the rounded
+	// values (decode is exact), so exact-mode results are bit-identical to
+	// a model evaluated on the rounded matrix. Single-process engines only;
+	// the sharded engine exchanges fp32 rows.
+	FeatPrecision quant.Precision
 }
 
 func (s ModelSpec) String() string {
@@ -122,6 +132,10 @@ type Engine struct {
 	gat     []*gatServeLayer
 	feat    *Cache[int32, []float32]
 	src     featureSource
+	// feats is the resident feature store (fp32 matrix or bf16 slab). The
+	// exact-mode GraphSAGE path aggregates straight from it through the
+	// fused gather kernel when the feature cache is disabled.
+	feats spmm.FeatRows
 
 	samplerMu sync.Mutex
 	sampler   *minibatch.Sampler
@@ -158,7 +172,16 @@ func NewEngine(ds *datasets.Dataset, spec ModelSpec, fanouts []int, featureCache
 		spec: spec,
 		feat: NewCache[int32, []float32](featureCacheBytes, 0),
 	}
-	e.src = &localFeatures{feats: ds.Features, cache: e.feat}
+	switch spec.FeatPrecision {
+	case quant.FP32:
+		e.feats = spmm.RowsOf(ds.Features)
+	case quant.BF16:
+		// One-time rounding at construction; every request reads the slab.
+		e.feats = spmm.RowsOfBF16(tensor.BF16FromMatrix(ds.Features))
+	default:
+		return nil, fmt.Errorf("serve: unsupported feature precision %v (fp32 or bf16)", spec.FeatPrecision)
+	}
+	e.src = &localFeatures{feats: e.feats, cache: e.feat}
 	switch spec.Arch {
 	case ArchGraphSAGE:
 		e.buildSage()
@@ -291,6 +314,17 @@ func (e *Engine) Infer(seeds []int32) (*tensor.Matrix, error) {
 		s = e.sampler.Sample(seeds)
 		e.samplerMu.Unlock()
 		x, err = e.src.gather(s.InputFrontier())
+	case e.fusedExact():
+		// GraphSAGE exact mode over the resident store with no feature
+		// cache: skip the gather entirely — the fused kernel streams
+		// frontier rows straight from e.feats (fp32 bit-identical to the
+		// gathered path, bf16 decoded on load).
+		s = minibatch.FullSample(e.ds.G, seeds, e.spec.NumLayers)
+		frontier := s.InputFrontier()
+		e.inferences.Add(1)
+		e.seedVertices.Add(int64(len(seeds)))
+		e.frontierIn.Add(int64(len(frontier)))
+		return e.forwardSageFused(s, frontier), nil
 	default:
 		if es, ok := e.src.(exactSampler); ok {
 			s, x, err = es.sampleExact(seeds, e.spec.NumLayers)
@@ -313,6 +347,19 @@ func (e *Engine) Infer(seeds []int32) (*tensor.Matrix, error) {
 	return e.forwardSage(s, x), nil
 }
 
+// fusedExact reports whether this request shape can take the fused
+// gather→aggregate path: exact GraphSAGE over the in-process store, with
+// the feature cache disabled (a populated cache changes nothing bitwise,
+// but serving its hits requires materializing the gather, so the fused
+// path only engages when there is no cache to consult).
+func (e *Engine) fusedExact() bool {
+	if e.spec.Arch != ArchGraphSAGE || e.feat != nil {
+		return false
+	}
+	_, sharded := e.src.(exactSampler)
+	return !sharded
+}
+
 // localFeatures gathers from the full in-process feature matrix, serving
 // rows from the feature cache when resident. With the whole matrix resident
 // the cache cannot beat a direct Row copy — it is the stand-in for the
@@ -321,19 +368,19 @@ func (e *Engine) Infer(seeds []int32) (*tensor.Matrix, error) {
 // over the comm fabric), and its hit/miss counters in /stats measure
 // exactly the reuse such a tier would capture.
 type localFeatures struct {
-	feats *tensor.Matrix
+	feats spmm.FeatRows
 	cache *Cache[int32, []float32]
 }
 
 func (lf *localFeatures) gather(frontier []int32) (*tensor.Matrix, error) {
-	x := tensor.New(len(frontier), lf.feats.Cols)
+	x := tensor.New(len(frontier), lf.feats.Cols())
 	for i, gv := range frontier {
 		row := x.Row(i)
 		if cached, ok := lf.cache.Get(gv); ok {
 			copy(row, cached)
 			continue
 		}
-		copy(row, lf.feats.Row(int(gv)))
+		lf.feats.CopyRow(row, int(gv))
 		lf.cache.Put(gv, append([]float32(nil), row...), 4*len(row))
 	}
 	return x, nil
@@ -347,22 +394,47 @@ func (e *Engine) forwardSage(s *minibatch.Sample, x *tensor.Matrix) *tensor.Matr
 	for l := len(s.Blocks) - 1; l >= 0; l-- {
 		layer := len(s.Blocks) - 1 - l
 		blk := s.Blocks[l]
-		sl := e.sage[layer]
 		agg := minibatch.AggregateGCN(blk, h, blk.Norms())
-		y := tensor.New(agg.Rows, sl.w.Cols)
-		tensor.MatMul(y, agg, sl.w)
-		y.AddRowVector(sl.b.Data)
-		if !sl.last {
-			// nn.ReLU semantics: keep v when v > 0, else exactly +0.
-			for i, v := range y.Data {
-				if !(v > 0) {
-					y.Data[i] = 0
-				}
-			}
-		}
-		h = y
+		h = e.sageApply(layer, agg)
 	}
 	return h
+}
+
+// forwardSageFused is forwardSage with the outermost layer's gather and
+// aggregation fused: layer 0 reads frontier rows directly from the resident
+// feature store; inner layers are identical. fp32 results are bit-identical
+// to forwardSage over the gathered matrix.
+func (e *Engine) forwardSageFused(s *minibatch.Sample, frontier []int32) *tensor.Matrix {
+	var h *tensor.Matrix
+	for l := len(s.Blocks) - 1; l >= 0; l-- {
+		layer := len(s.Blocks) - 1 - l
+		blk := s.Blocks[l]
+		var agg *tensor.Matrix
+		if layer == 0 {
+			agg = minibatch.AggregateGCNFrom(blk, e.feats, frontier)
+		} else {
+			agg = minibatch.AggregateGCN(blk, h, blk.Norms())
+		}
+		h = e.sageApply(layer, agg)
+	}
+	return h
+}
+
+// sageApply runs one dense GraphSAGE layer: y = agg·W + b, ReLU between
+// layers (nn.ReLU semantics: keep v when v > 0, else exactly +0).
+func (e *Engine) sageApply(layer int, agg *tensor.Matrix) *tensor.Matrix {
+	sl := e.sage[layer]
+	y := tensor.New(agg.Rows, sl.w.Cols)
+	tensor.MatMul(y, agg, sl.w)
+	y.AddRowVector(sl.b.Data)
+	if !sl.last {
+		for i, v := range y.Data {
+			if !(v > 0) {
+				y.Data[i] = 0
+			}
+		}
+	}
+	return y
 }
 
 // forwardGAT runs the attention layers over the blocks, replicating the

@@ -12,6 +12,7 @@ import (
 
 	"distgnn/internal/datasets"
 	"distgnn/internal/nn"
+	"distgnn/internal/quant"
 	"distgnn/internal/tensor"
 )
 
@@ -41,6 +42,9 @@ type Config struct {
 	// disables the respective cache.
 	FeatureCacheBytes int64
 	EmbedCacheBytes   int64
+	// FeatPrecision selects feature storage (see ModelSpec.FeatPrecision):
+	// quant.FP32 (default) or quant.BF16. Single-process serving only.
+	FeatPrecision quant.Precision
 }
 
 // applyDefaults fills the zero-value Config fields with distgnn-train's
@@ -83,6 +87,7 @@ func New(ds *datasets.Dataset, checkpoint io.Reader, cfg Config) (*Server, error
 	eng, err := NewEngine(ds, ModelSpec{
 		Arch: cfg.Arch, Hidden: cfg.Hidden, OutDim: cfg.OutDim,
 		NumLayers: cfg.NumLayers, NumHeads: cfg.NumHeads,
+		FeatPrecision: cfg.FeatPrecision,
 	}, cfg.Fanouts, cfg.FeatureCacheBytes)
 	if err != nil {
 		return nil, err

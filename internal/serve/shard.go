@@ -11,6 +11,7 @@ import (
 	"distgnn/internal/minibatch"
 	"distgnn/internal/nn"
 	"distgnn/internal/partition"
+	"distgnn/internal/quant"
 	"distgnn/internal/tensor"
 )
 
@@ -161,7 +162,7 @@ type shardState struct {
 	partitioner  string
 	owners       []int32
 	router       *Router
-	g            *graph.CSR // replicated topology, for owned block extraction
+	g            *graph.CSR     // replicated topology, for owned block extraction
 	slab         *tensor.Matrix // owned feature rows, compact
 	slabRow      []int32        // global vertex → slab row, -1 when not owned
 	featDim      int
@@ -377,6 +378,11 @@ func (sf *shardFeatures) gatherSplit(frontier []int32, split [][]int32) (*tensor
 func NewShard(ds *datasets.Dataset, checkpoint io.Reader, cfg Config, sc ShardConfig) (*Server, error) {
 	if len(cfg.Fanouts) > 0 {
 		return nil, fmt.Errorf("serve: shard mode is exact-only (drop -fanouts)")
+	}
+	if cfg.FeatPrecision != quant.FP32 {
+		// Shards exchange halo feature rows as fp32 over the comm fabric;
+		// the cross-shard bit-identity harness is defined over that format.
+		return nil, fmt.Errorf("serve: shard mode is fp32-only (drop -feat-precision)")
 	}
 	cfg.applyDefaults()
 	st, err := newShardState(ds, cfg, sc)

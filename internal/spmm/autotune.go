@@ -1,6 +1,8 @@
 package spmm
 
 import (
+	"log"
+	"sync/atomic"
 	"time"
 
 	"distgnn/internal/graph"
@@ -11,17 +13,30 @@ import (
 // with feature width d, replacing the hard-coded DefaultOptions heuristic.
 // It benchmarks the full candidate lattice — cache-block counts × schedule
 // × loop reordering, the axes of the paper's Fig. 4 ladder — on a sample
-// copylhs/sum aggregation (the GNN hot path) and returns the winner. The
-// measurement is one-shot: a handful of aggregation passes, amortized over
-// the thousands of epochs a training run executes with the result.
+// copylhs/sum aggregation (the GNN hot path) and returns the winner. Each
+// candidate is measured several times and scored by its minimum (the
+// standard defense against one-shot timing noise: scheduler preemptions and
+// cache-state flukes only ever add time), and graphs below a trivial work
+// floor skip the sweep entirely — at that size every configuration finishes
+// in noise-level time and the blocked-CSR builds would cost more than they
+// could ever recover.
 //
 // The winning configuration depends on the machine, the worker-pool size
 // and the degree distribution, which is exactly why the paper sweeps these
-// knobs per dataset rather than fixing them.
+// knobs per dataset rather than fixing them — and why AutoTuneCached
+// persists the result per (dataset, width, workers, machine) instead of
+// re-sweeping every run.
 func AutoTune(g *graph.CSR, d int) Options {
 	if d <= 0 {
 		d = 32
 	}
+	if int64(g.NumEdges)*int64(d) < trivialTuneWork {
+		log.Printf("spmm: autotune skipped: graph below trivial-size floor (%d edges × %d cols < %d element updates); using defaults",
+			g.NumEdges, d, trivialTuneWork)
+		return Options{NumBlocks: 1, Schedule: ScheduleDynamic, Reordered: true, ChunkSize: 64}
+	}
+	sweepCount.Add(1)
+
 	// Cap the sample width: relative kernel ranking is stable past the
 	// register-tile width, and tuning cost scales linearly with d.
 	sampleD := d
@@ -59,14 +74,23 @@ func AutoTune(g *graph.CSR, d int) Options {
 				if err := plan.Run(args); err != nil {
 					return best // shapes are ours; should be unreachable
 				}
-				start := time.Now()
-				for r := 0; r < reps; r++ {
-					if err := plan.Run(args); err != nil {
-						return best
+				// Min-of-N: repeat the timed measurement and keep the
+				// fastest — the least-disturbed observation of this
+				// candidate's true cost.
+				candidate := time.Duration(1<<63 - 1)
+				for m := 0; m < tuneMinOf; m++ {
+					start := time.Now()
+					for r := 0; r < reps; r++ {
+						if err := plan.Run(args); err != nil {
+							return best
+						}
+					}
+					if elapsed := time.Since(start); elapsed < candidate {
+						candidate = elapsed
 					}
 				}
-				if elapsed := time.Since(start); elapsed < bestTime {
-					bestTime = elapsed
+				if candidate < bestTime {
+					bestTime = candidate
 					best = plan.Opt
 				}
 			}
@@ -74,6 +98,23 @@ func AutoTune(g *graph.CSR, d int) Options {
 	}
 	return best
 }
+
+// tuneMinOf is the number of repeated timings per candidate; the minimum is
+// scored.
+const tuneMinOf = 3
+
+// trivialTuneWork is the edge×width floor below which the sweep is skipped:
+// ~a quarter-million element updates complete in tens of microseconds, far
+// under timer and scheduler noise.
+const trivialTuneWork = 1 << 18
+
+// sweepCount counts completed AutoTune sweeps process-wide. The profile
+// cache's tests assert a cache hit performs zero sweeps.
+var sweepCount atomic.Int64
+
+// SweepCount returns the number of AutoTune sweeps this process has run —
+// observability for the profile cache (a warm cache keeps it flat).
+func SweepCount() int64 { return sweepCount.Load() }
 
 // candidateBlocks is the cache-block sweep, pruned so no block holds fewer
 // than ~1k vertices (smaller blocks only add bookkeeping).
@@ -87,8 +128,9 @@ func candidateBlocks(g *graph.CSR) []int {
 	return out
 }
 
-// tuneReps sizes the measurement so small graphs are timed over several
-// passes (one pass is noise-level) while big graphs pay for a single one.
+// tuneReps sizes one timed measurement so small graphs are timed over
+// several passes (one pass is noise-level) while big graphs pay for a
+// single one.
 func tuneReps(g *graph.CSR, d int) int {
 	work := int64(g.NumEdges) * int64(d)
 	switch {

@@ -2,6 +2,8 @@ package spmm
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"distgnn/internal/tensor"
@@ -45,5 +47,58 @@ func TestAutoTuneTinyGraph(t *testing.T) {
 	opt := AutoTune(g, 0) // d ≤ 0 must default, not crash
 	if opt.NumBlocks != 1 {
 		t.Fatalf("tiny graph should not be blocked, got %+v", opt)
+	}
+}
+
+// TestAutoTuneTrivialFloorSkipsSweep: graphs below the work floor must not
+// pay for a sweep at all.
+func TestAutoTuneTrivialFloorSkipsSweep(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(3)), 200, 1000)
+	before := SweepCount()
+	opt := AutoTune(g, 8) // 1000×8 = 8k updates, far below the floor
+	if SweepCount() != before {
+		t.Fatalf("trivial graph ran a sweep (count %d → %d)", before, SweepCount())
+	}
+	if opt.NumBlocks != 1 || opt.ChunkSize < 1 {
+		t.Fatalf("floor fallback returned unnormalized options %+v", opt)
+	}
+}
+
+// TestAutoTuneCachedSecondRunZeroSweeps pins the profile-store contract:
+// the first call sweeps and persists, the second call with the same key
+// performs zero sweep passes and returns the persisted Options.
+func TestAutoTuneCachedSecondRunZeroSweeps(t *testing.T) {
+	dir := t.TempDir()
+	// 12k edges × 32 cols = 384k updates: above the trivial floor, so a
+	// sweep genuinely runs on the cold call.
+	g := randomGraph(rand.New(rand.NewSource(4)), 3000, 12000)
+
+	before := SweepCount()
+	first := AutoTuneCached(g, 32, dir)
+	if SweepCount() != before+1 {
+		t.Fatalf("cold call must sweep exactly once (count %d → %d)", before, SweepCount())
+	}
+	second := AutoTuneCached(g, 32, dir)
+	if SweepCount() != before+1 {
+		t.Fatalf("warm call must perform zero sweeps (count rose to %d)", SweepCount())
+	}
+	if first != second {
+		t.Fatalf("persisted options %+v differ from swept %+v", second, first)
+	}
+
+	// A different width is a different key: must sweep again.
+	_ = AutoTuneCached(g, 48, dir)
+	if SweepCount() != before+2 {
+		t.Fatalf("distinct width must miss the cache (count %d)", SweepCount()-before)
+	}
+
+	// Corrupt profile degrades to a fresh sweep, not an error.
+	key := TuneKey(g, 32)
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_ = AutoTuneCached(g, 32, dir)
+	if SweepCount() != before+3 {
+		t.Fatalf("corrupt profile must re-sweep (count %d)", SweepCount()-before)
 	}
 }

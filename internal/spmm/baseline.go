@@ -1,6 +1,10 @@
 package spmm
 
-import "distgnn/internal/parallel"
+import (
+	"fmt"
+
+	"distgnn/internal/parallel"
+)
 
 // Baseline runs the aggregation primitive exactly as Alg. 1 of the paper
 // describes the DGL implementation: destination vertices are statically
@@ -10,6 +14,9 @@ import "distgnn/internal/parallel"
 func Baseline(a *Args) error {
 	if err := a.Validate(); err != nil {
 		return err
+	}
+	if a.SrcPrec() != SrcFP32 {
+		return fmt.Errorf("spmm: baseline kernel reads fp32 sources only (got %v); use a Plan for bf16", a.SrcPrec())
 	}
 	a.initOutput()
 	g := a.G

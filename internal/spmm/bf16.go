@@ -1,0 +1,98 @@
+package spmm
+
+import (
+	"math"
+
+	"distgnn/internal/graph"
+	"distgnn/internal/parallel"
+)
+
+// bf16.go holds the SrcBF16 rung of the source-precision axis: kernel
+// bodies that stream bfloat16 vertex features (Args.FVB) and accumulate in
+// float32. The hot (⊗, ⊕) combination gets a monomorphic Alg. 3 reordered
+// loop that decodes inside the register tile — the uint16 load plus a shift
+// replaces the float32 load, halving the bytes read from the source matrix.
+// Every other combination decodes each source row into a pooled float32
+// scratch buffer and reuses the specialized fp32 row kernels.
+
+// bf16Decode is quant.BF16Decode inlined as a bit op so the innermost loops
+// carry no cross-package call (the compiler inlines it either way; keeping
+// the shift local makes that obvious in the kernel body).
+func bf16Decode(h uint16) float32 { return math.Float32frombits(uint32(h) << 16) }
+
+// bf16Body returns the loop body for a bf16-sourced aggregation: the
+// reordered tile kernel for the GNN hot path, else the scratch-decode
+// fallback over the fp32 row kernels.
+func (p *Plan) bf16Body(a *Args, blk *graph.CSR) func(v0, v1 int) {
+	if p.Opt.Reordered && a.Op == OpCopyLHS && a.Red == ReduceSum {
+		return func(v0, v1 int) { reorderedCopyLHSSumBF16(a, blk, v0, v1) }
+	}
+	return bf16ScratchBody(a, blk)
+}
+
+// reorderedCopyLHSSumBF16: f_O[v] += Σ_u bf16(f_V[u]) — the Alg. 3 loop of
+// reorderedCopyLHSSum with the source rows decoded inside the tile.
+func reorderedCopyLHSSumBF16(a *Args, blk *graph.CSR, v0, v1 int) {
+	d := a.FO.Cols
+	fv := a.FVB.Data
+	fo := a.FO.Data
+	for v := v0; v < v1; v++ {
+		lo, hi := int(blk.Indptr[v]), int(blk.Indptr[v+1])
+		if lo == hi {
+			continue
+		}
+		nbr := blk.Indices[lo:hi]
+		base := v * d
+		var j int
+		for ; j+tileW <= d; j += tileW {
+			var t [tileW]float32
+			copy(t[:], fo[base+j:base+j+tileW])
+			for _, u := range nbr {
+				s := int(u)*d + j
+				src := fv[s : s+tileW : s+tileW]
+				for k := 0; k < tileW; k++ {
+					t[k] += bf16Decode(src[k])
+				}
+			}
+			copy(fo[base+j:base+j+tileW], t[:])
+		}
+		for ; j < d; j++ {
+			t := fo[base+j]
+			for _, u := range nbr {
+				t += bf16Decode(fv[int(u)*d+j])
+			}
+			fo[base+j] = t
+		}
+	}
+}
+
+// bf16RowScratch pools per-range decode buffers so the fallback body does
+// not allocate inside the worker loop.
+var bf16RowScratch parallel.Scratch[float32]
+
+// bf16ScratchBody decodes each source row into a scratch buffer and drives
+// the monomorphic fp32 row kernel — correctness for every (⊗, ⊕) pair at a
+// per-row decode cost, still reading half the source bytes from memory.
+func bf16ScratchBody(a *Args, blk *graph.CSR) func(v0, v1 int) {
+	kern := kernelFor(a.Op, a.Red)
+	d := a.FO.Cols
+	return func(v0, v1 int) {
+		scratch := bf16RowScratch.Get(d)
+		defer bf16RowScratch.Put(scratch)
+		for v := v0; v < v1; v++ {
+			lo, hi := blk.Indptr[v], blk.Indptr[v+1]
+			if lo == hi {
+				continue
+			}
+			dst := a.FO.Row(v)
+			for q := lo; q < hi; q++ {
+				src := a.FVB.DecodeRow(int(blk.Indices[q]), scratch)
+				var edge []float32
+				if a.FE != nil {
+					edge = a.FE.Row(int(blk.EdgeIDs[q]))
+				}
+				kern(dst, src, edge)
+			}
+		}
+	}
+}

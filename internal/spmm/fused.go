@@ -1,0 +1,195 @@
+package spmm
+
+import (
+	"fmt"
+
+	"distgnn/internal/parallel"
+	"distgnn/internal/quant"
+	"distgnn/internal/tensor"
+)
+
+// FeatRows is a read-only vertex-feature row store in one of the two source
+// precisions. Exactly one backing is non-nil; the zero value is invalid.
+// It is the operand handed to the fused gather→aggregate kernel, which
+// switches once on the backing and runs a monomorphic loop — no per-row
+// interface dispatch on the hot path.
+type FeatRows struct {
+	F32 *tensor.Matrix
+	B16 *tensor.BF16Matrix
+}
+
+// RowsOf wraps a float32 matrix as a FeatRows.
+func RowsOf(m *tensor.Matrix) FeatRows { return FeatRows{F32: m} }
+
+// RowsOfBF16 wraps a bf16 matrix as a FeatRows.
+func RowsOfBF16(b *tensor.BF16Matrix) FeatRows { return FeatRows{B16: b} }
+
+// Valid reports whether exactly one backing is set.
+func (r FeatRows) Valid() bool { return (r.F32 != nil) != (r.B16 != nil) }
+
+// Cols returns the feature width.
+func (r FeatRows) Cols() int {
+	if r.B16 != nil {
+		return r.B16.Cols
+	}
+	return r.F32.Cols
+}
+
+// NumRows returns the row count.
+func (r FeatRows) NumRows() int {
+	if r.B16 != nil {
+		return r.B16.Rows
+	}
+	return r.F32.Rows
+}
+
+// Precision reports the storage format.
+func (r FeatRows) Precision() quant.Precision {
+	if r.B16 != nil {
+		return quant.BF16
+	}
+	return quant.FP32
+}
+
+// CopyRow materializes row i into dst (len ≥ Cols), decoding bf16 rows on
+// load, and returns dst[:Cols]. The unfused gather path and caches use it.
+func (r FeatRows) CopyRow(dst []float32, i int) []float32 {
+	if r.B16 != nil {
+		return r.B16.DecodeRow(i, dst)
+	}
+	dst = dst[:r.F32.Cols]
+	copy(dst, r.F32.Row(i))
+	return dst
+}
+
+// GatherAggGCNSum is the fused gather→aggregate kernel for the copylhs/sum
+// GNN hot path over one bipartite block: for every destination i,
+//
+//	out[i] = (Σ_p feats[frontier[indices[p]]] + feats[frontier[selfIdx[i]]]) · norm[i]
+//
+// summing block neighbors in index order. It streams source rows straight
+// out of the global feature store — no materialized |frontier|×d gathered
+// matrix is ever built, removing the gather's write+read traffic and its
+// allocation from the per-frontier pass. For fp32 sources the float-op
+// order per output element is exactly the gather-then-aggregate order, so
+// results are bit-identical to the unfused path (the property the serving
+// bit-identity pins rely on); bf16 sources decode rows on load and
+// accumulate in float32.
+//
+// indptr/indices/selfIdx are the bipartite block arrays (minibatch.Block's
+// layout): indices and selfIdx hold frontier-local IDs, frontier maps them
+// to rows of feats. out must be NumDst×feats.Cols(), zeroed or not — rows
+// are overwritten.
+func GatherAggGCNSum(out *tensor.Matrix, feats FeatRows, frontier []int32,
+	indptr, indices, selfIdx []int32, norm []float32) error {
+	if !feats.Valid() {
+		return fmt.Errorf("spmm: FeatRows must have exactly one backing")
+	}
+	d := feats.Cols()
+	numDst := len(indptr) - 1
+	if out.Rows != numDst || out.Cols != d {
+		return fmt.Errorf("spmm: fused output %dx%d, want %dx%d", out.Rows, out.Cols, numDst, d)
+	}
+	if len(norm) != numDst || len(selfIdx) != numDst {
+		return fmt.Errorf("spmm: fused norm/self length %d/%d, want %d", len(norm), len(selfIdx), numDst)
+	}
+	// Translate block-local IDs to global feature rows once, up front: the
+	// inner loops then pay one indirection per edge (the same addressing as
+	// an aggregate over a gathered matrix) instead of two. Same rows in the
+	// same order — no float op moves.
+	gIdx := fusedIdxScratch.Get(len(indices) + numDst)
+	defer fusedIdxScratch.Put(gIdx)
+	gSelf := gIdx[len(indices):]
+	for p, u := range indices {
+		gIdx[p] = frontier[u]
+	}
+	for i, u := range selfIdx {
+		gSelf[i] = frontier[u]
+	}
+	body := func(v0, v1 int) {
+		fusedGatherSumFP32(out, feats.F32, gIdx, gSelf, indptr, norm, v0, v1)
+	}
+	if feats.B16 != nil {
+		body = func(v0, v1 int) {
+			fusedGatherSumBF16(out, feats.B16, gIdx, gSelf, indptr, norm, v0, v1)
+		}
+	}
+	// Output rows are independent and each is computed by exactly one
+	// worker in the same sequential per-row order, so the result is
+	// bit-identical under any worker count or schedule. Tiny blocks (and a
+	// one-worker pool) run inline — chunk handoff would cost more than the
+	// pass.
+	if work := (len(indices) + numDst) * d; parallel.Workers() > 1 && work >= fusedParallelWork {
+		parallel.Dynamic(numDst, fusedChunk, body)
+	} else {
+		body(0, numDst)
+	}
+	return nil
+}
+
+const (
+	// fusedParallelWork is the edge×width element-update count below which
+	// the fused pass stays on the calling goroutine.
+	fusedParallelWork = 1 << 15
+	// fusedChunk is the dynamic-schedule chunk (destination rows per grab);
+	// power-law frontier degree skew self-balances across grabs.
+	fusedChunk = 64
+)
+
+// fusedIdxScratch pools the per-call translated index buffer.
+var fusedIdxScratch parallel.Scratch[int32]
+
+// fusedGatherSumFP32 streams each scattered source row once, whole-row
+// contiguous (prefetcher-friendly; a tileW register block would revisit
+// every scattered row once per tile and defeat it). gIdx/gSelf hold the
+// pre-translated global rows. The per-element op order — neighbors in
+// index order, then self, then scale — is exactly
+// gather-then-AggregateGCN, so results are bit-identical to the unfused
+// path.
+func fusedGatherSumFP32(out, feats *tensor.Matrix,
+	gIdx, gSelf, indptr []int32, norm []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		dst := out.Row(i)
+		for j := range dst {
+			dst[j] = 0
+		}
+		lo, hi := indptr[i], indptr[i+1]
+		for p := lo; p < hi; p++ {
+			src := feats.Row(int(gIdx[p]))
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+		self := feats.Row(int(gSelf[i]))
+		n := norm[i]
+		for j := range dst {
+			dst[j] = (dst[j] + self[j]) * n
+		}
+	}
+}
+
+// fusedGatherSumBF16 is fusedGatherSumFP32 over the 16-bit slab: the
+// uint16 load + shift decode replaces the float32 load, halving the bytes
+// read per scattered row.
+func fusedGatherSumBF16(out *tensor.Matrix, feats *tensor.BF16Matrix,
+	gIdx, gSelf, indptr []int32, norm []float32, i0, i1 int) {
+	d := out.Cols
+	for i := i0; i < i1; i++ {
+		dst := out.Row(i)
+		for j := range dst {
+			dst[j] = 0
+		}
+		lo, hi := indptr[i], indptr[i+1]
+		for p := lo; p < hi; p++ {
+			src := feats.Row(int(gIdx[p]))[:d]
+			for j := range dst {
+				dst[j] += bf16Decode(src[j])
+			}
+		}
+		self := feats.Row(int(gSelf[i]))[:d]
+		n := norm[i]
+		for j := range dst {
+			dst[j] = (dst[j] + bf16Decode(self[j])) * n
+		}
+	}
+}

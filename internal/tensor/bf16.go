@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"fmt"
+
+	"distgnn/internal/quant"
+)
+
+// BF16Matrix is a dense row-major bfloat16 matrix: the storage-side twin of
+// Matrix holding each element as a 16-bit word (top half of the float32 bit
+// pattern, rounded to nearest even by quant.BF16Encode). Halving the element
+// size halves the memory-bandwidth bill of streaming a feature matrix — the
+// roofline limit of the aggregation primitive — at the cost of 8 explicit
+// mantissa bits. Kernels that read it decode rows on load with
+// quant.BF16Decode's bit shift and accumulate in float32.
+type BF16Matrix struct {
+	Rows, Cols int
+	Data       []uint16
+}
+
+// NewBF16 returns a zeroed rows×cols bf16 matrix.
+func NewBF16(rows, cols int) *BF16Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &BF16Matrix{Rows: rows, Cols: cols, Data: make([]uint16, rows*cols)}
+}
+
+// BF16FromMatrix rounds every element of m through bfloat16
+// (round-to-nearest-even) into a fresh BF16Matrix. m is not modified.
+func BF16FromMatrix(m *Matrix) *BF16Matrix {
+	out := NewBF16(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = quant.BF16Encode(v)
+	}
+	return out
+}
+
+// Row returns the i-th row's packed words, sharing b's storage.
+func (b *BF16Matrix) Row(i int) []uint16 {
+	return b.Data[i*b.Cols : (i+1)*b.Cols]
+}
+
+// DecodeRow expands row i into dst (len ≥ Cols) and returns dst[:Cols].
+// The decode is exact: a bf16 word denotes the float32 with that word as
+// its top half, so no rounding happens on load.
+func (b *BF16Matrix) DecodeRow(i int, dst []float32) []float32 {
+	row := b.Row(i)
+	dst = dst[:len(row)]
+	for j, h := range row {
+		dst[j] = quant.BF16Decode(h)
+	}
+	return dst
+}
+
+// At returns the element at (i, j) decoded to float32.
+func (b *BF16Matrix) At(i, j int) float32 {
+	return quant.BF16Decode(b.Data[i*b.Cols+j])
+}
+
+// Set rounds v through bf16 and assigns the element at (i, j).
+func (b *BF16Matrix) Set(i, j int, v float32) {
+	b.Data[i*b.Cols+j] = quant.BF16Encode(v)
+}
+
+// ToMatrix decodes the whole matrix into a fresh float32 Matrix — the
+// values every bf16-reading kernel observes, so fp32 reference paths fed
+// this matrix are value-identical to the bf16 path.
+func (b *BF16Matrix) ToMatrix() *Matrix {
+	out := New(b.Rows, b.Cols)
+	for i, h := range b.Data {
+		out.Data[i] = quant.BF16Decode(h)
+	}
+	return out
+}
+
+// SizeBytes returns the backing-store size: half a float32 Matrix's.
+func (b *BF16Matrix) SizeBytes() int64 { return int64(len(b.Data)) * 2 }

@@ -1,0 +1,73 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distgnn/internal/quant"
+)
+
+func TestBF16RoundTripThroughMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(17, 9)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(8)-4)))
+	}
+	b := BF16FromMatrix(m)
+	if b.Rows != m.Rows || b.Cols != m.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", b.Rows, b.Cols, m.Rows, m.Cols)
+	}
+	back := b.ToMatrix()
+	for i, v := range m.Data {
+		want := quant.BF16Decode(quant.BF16Encode(v))
+		if math.Float32bits(back.Data[i]) != math.Float32bits(want) {
+			t.Fatalf("element %d: %v decoded to %v, want %v", i, v, back.Data[i], want)
+		}
+	}
+	// Decoding is exact: encoding the decoded matrix again is a fixpoint.
+	again := BF16FromMatrix(back)
+	for i := range b.Data {
+		if again.Data[i] != b.Data[i] {
+			t.Fatalf("element %d: re-encode not stable (%#x vs %#x)", i, again.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestBF16DecodeRowMatchesAt(t *testing.T) {
+	b := NewBF16(4, 6)
+	rng := rand.New(rand.NewSource(5))
+	for i := range b.Data {
+		b.Data[i] = uint16(rng.Intn(1 << 16))
+	}
+	// Exclude NaN patterns: At/DecodeRow must agree bitwise on everything
+	// else (NaN payloads compare unequal under ==).
+	for i := range b.Data {
+		if v := quant.BF16Decode(b.Data[i]); math.IsNaN(float64(v)) {
+			b.Data[i] = 0
+		}
+	}
+	dst := make([]float32, b.Cols)
+	for i := 0; i < b.Rows; i++ {
+		row := b.DecodeRow(i, dst)
+		if len(row) != b.Cols {
+			t.Fatalf("row %d: decoded length %d", i, len(row))
+		}
+		for j := range row {
+			if row[j] != b.At(i, j) {
+				t.Fatalf("(%d,%d): DecodeRow %v != At %v", i, j, row[j], b.At(i, j))
+			}
+		}
+	}
+}
+
+func TestBF16SetRoundsToNearestEven(t *testing.T) {
+	b := NewBF16(1, 1)
+	b.Set(0, 0, 1.00390625) // 1 + 2^-8: exactly between bf16 neighbors 1.0 and 1.0078125
+	if got := b.At(0, 0); got != 1.0 {
+		t.Fatalf("tie must round to even mantissa (1.0), got %v", got)
+	}
+	if b.SizeBytes() != 2 {
+		t.Fatalf("SizeBytes = %d, want 2", b.SizeBytes())
+	}
+}
