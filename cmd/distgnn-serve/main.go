@@ -30,6 +30,18 @@
 //	distgnn-serve -checkpoint ckpt.dgnp -shards 2 -transport inproc ...
 //	curl 'localhost:8399/predict?vertex=17'   # rank 0
 //	curl 'localhost:8400/predict?vertex=17'   # rank 1 — same bytes
+//
+// Replicated serving (-replicas R) runs R bit-identical copies of the
+// engine (or of the whole shard fleet) behind a consistent-hash frontend
+// on -addr: vertices hash to a shard group, the frontend load-balances
+// across the group's replicas with power-of-two-choices and fails over
+// when a replica dies, and POST /reload (with -reload) hot-swaps every
+// replica to a new checkpoint with zero dropped requests:
+//
+//	distgnn-serve -checkpoint ckpt.dgnp -shards 2 -replicas 2 ...
+//	distgnn-serve -checkpoint ckpt.dgnp -shards 2 -replicas 2 -transport tcp -spawn-local -reload ...
+//	curl 'localhost:8399/predict?vertex=17'             # frontend
+//	curl -X POST 'localhost:8399/reload?checkpoint=new.dgnp'
 package main
 
 import (
@@ -91,6 +103,12 @@ func main() {
 		"shard mode, tcp: deadline for dial/handshake/send/recv/barrier operations")
 	partSeed := flag.Int64("partition-seed", 1,
 		"shard mode: seed of the deterministic vertex-cut partitioning every rank derives")
+	replicas := flag.Int("replicas", 1,
+		"run this many bit-identical replicas of the engine (or shard fleet) behind a consistent-hash frontend on -addr; backends take ports addr+1..addr+shards*replicas")
+	frontendOn := flag.Bool("frontend", false,
+		"serve the replicated frontend even with -replicas 1 (implied by -replicas >1)")
+	reloadOn := flag.Bool("reload", false,
+		"enable POST /reload checkpoint hot-swapping (reads server-side files via ?checkpoint=path)")
 	flag.Parse()
 
 	if *checkpoint == "" {
@@ -119,10 +137,20 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -feat-precision %q (fp32 or bf16)", *featPrec))
 	}
+	cfg.EnableReload = *reloadOn
 	var err error
 	cfg.Fanouts, err = parseFanouts(*fanouts)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *replicas > 1 || *frontendOn {
+		runReplicated(cfg, replicatedOpts{
+			checkpoint: *checkpoint, dataset: *dataset, scale: *scale, file: *file,
+			addr: *addr, shards: *shards, replicas: *replicas,
+			transport: *transport, spawnLocal: *spawnLocal, partSeed: *partSeed,
+		})
+		return
 	}
 
 	// TCP shard rendezvous starts before the (deterministic) dataset
@@ -149,19 +177,7 @@ func main() {
 		fatal(fmt.Errorf("-spawn-local requires -transport tcp and -shards >1"))
 	}
 
-	var ds *datasets.Dataset
-	name := *dataset
-	if *file != "" {
-		f, ferr := os.Open(*file)
-		if ferr != nil {
-			fatal(ferr)
-		}
-		ds, err = graphio.ReadDataset(f)
-		f.Close()
-		name = *file
-	} else {
-		ds, err = datasets.Load(*dataset, *scale)
-	}
+	ds, name, err := loadDataset(*file, *dataset, *scale)
 	if err != nil {
 		fatal(err)
 	}
@@ -241,6 +257,155 @@ func main() {
 	fmt.Printf("model %s, %d shards, endpoints /predict /embed /stats /healthz\n",
 		serve.Arch(*arch), *shards)
 	fatal(<-errc)
+}
+
+// loadDataset loads -file (a distgnn-datagen artifact) or regenerates the
+// named dataset deterministically.
+func loadDataset(file, dataset string, scale float64) (*datasets.Dataset, string, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		ds, err := graphio.ReadDataset(f)
+		return ds, file, err
+	}
+	ds, err := datasets.Load(dataset, scale)
+	return ds, dataset, err
+}
+
+// replicatedOpts carries the topology flags into the replicated runner.
+type replicatedOpts struct {
+	checkpoint, dataset, file string
+	scale                     float64
+	addr                      string
+	shards, replicas          int
+	transport                 string
+	spawnLocal                bool
+	partSeed                  int64
+}
+
+// runReplicated stands up R bit-identical serving replicas (single servers,
+// or whole shard fleets when -shards >1) behind the consistent-hash
+// frontend on -addr. Backend b = rep*shards + rank listens on -addr's
+// port + 1 + b, so the frontend knows every address up front.
+//
+// inproc: every backend runs in this process (fleets each get their own
+// mailbox fabric). tcp requires -spawn-local: this process serves ONLY the
+// frontend and forks the shards×replicas backends; each fleet rendezvouses
+// through its own pre-reserved comm registry port. Either way the replicas
+// share the checkpoint and partition seed, so they are bit-identical and
+// any of them can answer for its group.
+func runReplicated(cfg serve.Config, o replicatedOpts) {
+	S, R := o.shards, o.replicas
+	if S < 1 || R < 1 {
+		fatal(fmt.Errorf("-shards and -replicas must be ≥1"))
+	}
+	backends, err := shardHTTPAddrs("", o.addr, S*R+1)
+	if err != nil {
+		fatal(err)
+	}
+	backends = backends[1:] // index 0 is the frontend itself
+	groups := make([]serve.GroupSpec, S)
+	for g := range groups {
+		groups[g].Key = fmt.Sprintf("group-%d", g)
+		for rep := 0; rep < R; rep++ {
+			groups[g].Replicas = append(groups[g].Replicas, backends[rep*S+g])
+		}
+	}
+
+	switch o.transport {
+	case "inproc":
+		ds, name, err := loadDataset(o.file, o.dataset, o.scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dataset %s: %d vertices, %d edges, %d features, %d classes\n",
+			name, ds.G.NumVertices, ds.G.NumEdges, ds.Features.Cols, ds.NumClasses)
+		ckptBytes, err := os.ReadFile(o.checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		for rep := 0; rep < R; rep++ {
+			var httpPeers []serve.PeerAddr
+			for r := 0; r < S; r++ {
+				httpPeers = append(httpPeers, serve.PeerAddr{Rank: r, Addr: backends[rep*S+r]})
+			}
+			var fabric comm.Transport
+			if S > 1 {
+				fabric = comm.NewProcTransport(S)
+			}
+			for r := 0; r < S; r++ {
+				var srv *serve.Server
+				if S == 1 {
+					srv, err = serve.New(ds, bytes.NewReader(ckptBytes), cfg)
+				} else {
+					srv, err = serve.NewShard(ds, bytes.NewReader(ckptBytes), cfg, serve.ShardConfig{
+						Rank: r, Shards: S, Transport: fabric,
+						HTTPPeers: httpPeers, PartitionSeed: o.partSeed,
+					})
+				}
+				if err != nil {
+					fatal(err)
+				}
+				addr := backends[rep*S+r]
+				fmt.Printf("replica %d rank %d/%d on http://%s\n", rep, r, S, addr)
+				go func(addr string, srv *serve.Server) {
+					fatal(http.ListenAndServe(addr, srv.Handler()))
+				}(addr, srv)
+			}
+		}
+	case "tcp":
+		if !o.spawnLocal {
+			fatal(fmt.Errorf("replicated tcp serving requires -spawn-local (the frontend forks the backend fleets)"))
+		}
+		// Each fleet rendezvouses through its own registry address,
+		// reserved here so every child can be told where to meet.
+		registries := make([]string, R)
+		for rep := range registries {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			registries[rep] = ln.Addr().String()
+			ln.Close()
+		}
+		children, err := comm.SpawnLocalRanks(S*R+1, func(i int) []string {
+			rep, r := (i-1)/S, (i-1)%S
+			args := []string{
+				"-frontend=false", "-replicas=1", "-spawn-local=false",
+				fmt.Sprintf("-shards=%d", S), fmt.Sprintf("-rank=%d", r),
+				"-addr=" + backends[rep*S+r],
+			}
+			if S > 1 {
+				fleet := backends[rep*S : rep*S+S]
+				args = append(args, "-transport=tcp", "-peers="+strings.Join(fleet, ","))
+				if r == 0 {
+					args = append(args, "-comm-listen="+registries[rep], "-comm-peers=")
+				} else {
+					args = append(args, "-comm-listen=", "-comm-peers="+registries[rep])
+				}
+			} else {
+				args = append(args, "-transport=inproc")
+			}
+			return args
+		})
+		if err != nil {
+			fatal(err)
+		}
+		comm.KillRanksOnSignal(children)
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (inproc or tcp)", o.transport))
+	}
+
+	f, err := serve.NewFrontend(serve.FrontendConfig{Groups: groups})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("frontend: %d shard groups × %d replicas, endpoints /predict /embed /stats /healthz /reload on http://%s\n",
+		S, R, o.addr)
+	fatal(http.ListenAndServe(o.addr, f.Handler()))
 }
 
 // shardHTTPAddrs resolves the fleet's HTTP addresses: an explicit -peers

@@ -31,6 +31,7 @@ func Ablations() []Experiment {
 		{"abl-transport", "Ablation: in-process vs TCP-loopback comm transport epoch time", AblationTransport},
 		{"abl-serve", "Ablation: online serving — coalescing and cache levers (QPS, p50/p95/p99)", AblationServe},
 		{"abl-shardserve", "Ablation: sharded serving — QPS/p95 vs shard count under Poisson and MMPP arrivals", AblationShardServe},
+		{"abl-replicaserve", "Ablation: replicated serving — MMPP tail with a replica killed mid-run, mid-run /reload survival", AblationReplicaServe},
 		{"abl-kernels", "Ablation: aggregation kernel arms (scalar/fused/bf16) and wall-epoch trajectory", AblationKernels},
 	}
 }

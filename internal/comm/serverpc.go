@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"distgnn/internal/parallel"
 )
@@ -51,16 +53,32 @@ const reqRepIDMask = 1<<30 - 1
 type ReqRepHandler func(from int, req []float32) ([]float32, error)
 
 // ReqRep is the request/reply endpoint for one rank: it answers peers'
-// requests through the handler and issues its own via Call. Close stops
-// issuing new calls; the responder goroutines exit when the underlying
-// transport closes (the transport stays owned by the caller).
+// requests through the handler and issues its own via Call.
+//
+// Shutdown contract: Close stops issuing new calls, then reaps every
+// late-reply drainer a timed-out Call left behind — after Close returns, no
+// goroutine this endpoint spawned for its own calls remains (the pre-fix
+// behaviour leaked one blocked-forever Recv per timed-out call on a
+// deadline-free fabric). The responder goroutines exit when the underlying
+// transport closes (the transport stays owned by the caller). Close is
+// idempotent and safe from any goroutine.
 type ReqRep struct {
 	tr      Transport
 	rank    int
 	handler ReqRepHandler
 	seq     atomic.Int64
 	closed  atomic.Bool
+
+	quit     chan struct{}  // closed by Close; wakes the drainers
+	drainMu  sync.Mutex     // gates drainer registration against Close
+	drainers sync.WaitGroup // live late-reply drainers
 }
+
+// drainPollInterval paces the late-reply drainer's mailbox polls. Polling
+// (a non-consuming peek) instead of a blocking Recv is the fix for the
+// drain leak: Recv has no deadline on the in-process fabric, so a blocked
+// drainer could never be reclaimed.
+const drainPollInterval = 2 * time.Millisecond
 
 // NewReqRep starts the responder goroutines (one per peer) and returns the
 // endpoint. rank must be the rank this endpoint speaks as — passed
@@ -73,7 +91,7 @@ func NewReqRep(tr Transport, rank int, handler ReqRepHandler) (*ReqRep, error) {
 	if tr.Self() != AllRanks && tr.Self() != rank {
 		return nil, fmt.Errorf("comm: reqrep rank %d on an endpoint hosting rank %d", rank, tr.Self())
 	}
-	r := &ReqRep{tr: tr, rank: rank, handler: handler}
+	r := &ReqRep{tr: tr, rank: rank, handler: handler, quit: make(chan struct{})}
 	for peer := 0; peer < tr.Size(); peer++ {
 		if peer != rank {
 			go r.respond(peer)
@@ -107,18 +125,65 @@ func (r *ReqRep) Call(peer int, req []float32) ([]float32, error) {
 		if errors.Is(err, ErrTimeout) {
 			// The responder may still deliver after our deadline; without a
 			// reader its envelope would sit in the mailbox forever. Drain it
-			// in the background for one more deadline window (a reply later
-			// than that means the fabric is failing anyway).
-			go func() { _, _ = r.tr.Recv(r.rank, peer, replyTag(id)) }()
+			// in the background with a tracked, poll-based drainer that Close
+			// reaps — a blocking Recv here would be unbounded on the
+			// in-process fabric, which has no receive deadline.
+			r.drainLate(peer, id)
 		}
 		return nil, err
 	}
 	return decodeReply(peer, env.F32)
 }
 
-// Close marks the endpoint closed for new calls. In-flight calls and the
-// responder goroutines drain when the transport closes.
-func (r *ReqRep) Close() { r.closed.Store(true) }
+// drainLate consumes a reply that arrives after its Call's deadline so the
+// envelope does not sit in the mailbox forever. The drainer peeks with Poll
+// (never blocks) and exits as soon as it consumes the reply, the fabric
+// reports failure, or Close reaps it via quit.
+func (r *ReqRep) drainLate(peer int, id uint32) {
+	r.drainMu.Lock()
+	if r.closed.Load() {
+		// Shutting down: the mailbox dies with the transport; nothing to
+		// reclaim and Close may already be waiting on the group.
+		r.drainMu.Unlock()
+		return
+	}
+	r.drainers.Add(1)
+	r.drainMu.Unlock()
+	go func() {
+		defer r.drainers.Done()
+		tick := time.NewTicker(drainPollInterval)
+		defer tick.Stop()
+		for {
+			_, ok, err := r.tr.Poll(r.rank, peer, replyTag(id))
+			if err != nil {
+				return // fabric or peer connection down: no reply can arrive
+			}
+			if ok {
+				// Only this drainer ever receives this reply tag, so the
+				// just-peeked envelope is still queued and Recv is immediate.
+				_, _ = r.tr.Recv(r.rank, peer, replyTag(id))
+				return
+			}
+			select {
+			case <-r.quit:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+}
+
+// Close marks the endpoint closed for new calls and reaps the late-reply
+// drainers; it returns once none remain. In-flight calls and the responder
+// goroutines drain when the transport closes. Idempotent.
+func (r *ReqRep) Close() {
+	r.drainMu.Lock()
+	if !r.closed.Swap(true) {
+		close(r.quit)
+	}
+	r.drainMu.Unlock()
+	r.drainers.Wait()
+}
 
 // respond drains one peer's request stream. Each request is handled on its
 // own goroutine so a slow handler cannot head-of-line block the peer's

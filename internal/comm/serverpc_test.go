@@ -2,8 +2,10 @@ package comm
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -212,5 +214,102 @@ func TestServeTagRangeDisjoint(t *testing.T) {
 	// stays far below the reserved base.
 	if maxTrainTag := (1 << 24); maxTrainTag >= ServeTagBase {
 		t.Fatalf("training tag headroom %d crosses the serve base %d", maxTrainTag, ServeTagBase)
+	}
+}
+
+// timeoutOnceTransport injects exactly one ErrTimeout into the first
+// reply-tag Recv, then delegates to the wrapped fabric. On the in-process
+// transport the delegated Recv has no deadline, so a pre-fix Call's
+// background drain goroutine blocks forever — the leak this stub exposes.
+type timeoutOnceTransport struct {
+	Transport
+	mu    sync.Mutex
+	fired bool
+}
+
+func (t *timeoutOnceTransport) Recv(to, from, tag int) (*Envelope, error) {
+	if tag > ServeTagBase {
+		t.mu.Lock()
+		first := !t.fired
+		t.fired = true
+		t.mu.Unlock()
+		if first {
+			return nil, fmt.Errorf("injected: %w", ErrTimeout)
+		}
+	}
+	return t.Transport.Recv(to, from, tag)
+}
+
+// TestReqRepTimeoutDrainerReapedOnClose is the drain-leak regression pin:
+// a Call that times out spawns a late-reply drainer, and Close must reap
+// it. Pre-fix, the drainer was a bare Recv with no deadline on the
+// in-process fabric — it blocked forever, so the goroutine count never
+// dropped back after Close.
+func TestReqRepTimeoutDrainerReapedOnClose(t *testing.T) {
+	tr := &timeoutOnceTransport{Transport: NewProcTransport(2)}
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	r0, err := NewReqRep(tr, 0, func(int, []float32) ([]float32, error) {
+		return nil, fmt.Errorf("rank 0 serves nothing here")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewReqRep(tr, 1, func(int, []float32) ([]float32, error) {
+		close(entered)
+		<-block // the reply never arrives inside the test window
+		return []float32{1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(block)
+		r1.Close()
+		tr.Transport.Close()
+	}()
+
+	if _, err := r0.Call(1, []float32{42}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Call: got %v, want ErrTimeout", err)
+	}
+	// Synchronize: the handler goroutine is parked and the drainer (spawned
+	// synchronously inside Call) is registered, so the count is stable.
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never entered")
+	}
+	before := runtime.NumGoroutine()
+
+	r0.Close() // must reap the drainer before returning
+
+	// Post-fix the drainer is gone when Close returns, so the count drops
+	// below the pre-Close reading. The pre-fix drainer is a Recv blocked
+	// forever — the count never drops and the deadline fires.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n < before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before Close, %d after (drainer not reaped)",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReqRepCloseIdempotent pins that double-Close is safe.
+func TestReqRepCloseIdempotent(t *testing.T) {
+	tr := NewProcTransport(2)
+	defer tr.Close()
+	rr, err := NewReqRep(tr, 0, func(_ int, req []float32) ([]float32, error) { return req, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Close()
+	rr.Close()
+	if _, err := rr.Call(1, []float32{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Call after Close: got %v, want ErrClosed", err)
 	}
 }

@@ -66,16 +66,39 @@ func NewCache[K comparable, V any](capacityBytes int64, shards int) *Cache[K, V]
 	for n < shards {
 		n <<= 1
 	}
-	per := int(capacityBytes) / n
+	// Split in int64 (int(capacityBytes) truncates on 32-bit platforms) and
+	// give the division remainder to shard 0 so the shard capacities sum to
+	// exactly the requested budget.
+	per := capacityBytes / int64(n)
 	if per < 1 {
 		n = 1
-		per = int(capacityBytes)
+		per = capacityBytes
 	}
+	rem := capacityBytes - per*int64(n)
 	c := &Cache[K, V]{seed: maphash.MakeSeed(), shards: make([]cacheShard[K, V], n)}
 	for i := range c.shards {
-		c.shards[i].core = cachesim.NewCore[K, V](per)
+		cap := per
+		if i == 0 {
+			cap += rem
+		}
+		c.shards[i].core = cachesim.NewCore[K, V](int(cap))
 	}
 	return c
+}
+
+// Reset discards every entry while keeping capacities and cumulative
+// counters — the post-/reload invalidation that stops a hot-swapped model
+// from serving the old model's cached embeddings.
+func (c *Cache[K, V]) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.core = cachesim.NewCore[K, V](s.core.Cap())
+		s.mu.Unlock()
+	}
 }
 
 func (c *Cache[K, V]) shard(key K) *cacheShard[K, V] {

@@ -94,3 +94,58 @@ func TestCacheConcurrentAccess(t *testing.T) {
 		t.Fatalf("accesses %d", st.Hits+st.Misses)
 	}
 }
+
+// TestCacheBudgetSplitExact pins the shard-split arithmetic: the per-shard
+// capacities must sum to exactly the requested byte budget (the division
+// remainder goes to shard 0), with the arithmetic in int64 so budgets
+// beyond 2 GiB survive 32-bit platforms. Pre-fix, int truncation dropped
+// up to shards−1 remainder bytes silently.
+func TestCacheBudgetSplitExact(t *testing.T) {
+	for _, budget := range []int64{1, 7, 1023, 1<<20 + 13, 3<<20 + 5, 64<<20 + 63} {
+		c := NewCache[int32, []float32](budget, 0)
+		if c == nil {
+			t.Fatalf("budget %d: cache disabled", budget)
+		}
+		if got := c.Stats().CapBytes; got != budget {
+			t.Fatalf("budget %d: shard capacities sum to %d", budget, got)
+		}
+	}
+	// Explicit shard counts, including non-power-of-two requests that round
+	// up internally.
+	for _, shards := range []int{1, 3, 16} {
+		const budget = 1<<20 + 7
+		c := NewCache[int32, []float32](budget, shards)
+		if got := c.Stats().CapBytes; got != budget {
+			t.Fatalf("shards %d: shard capacities sum to %d, want %d", shards, got, budget)
+		}
+	}
+}
+
+// TestCacheResetKeepsCapacityDropsEntries pins Reset (the post-/reload
+// invalidation): entries vanish, capacity and cumulative counters survive.
+func TestCacheResetKeepsCapacityDropsEntries(t *testing.T) {
+	c := NewCache[int32, []float32](1<<20, 4)
+	for i := int32(0); i < 64; i++ {
+		c.Put(i, []float32{float32(i)}, 4)
+	}
+	if _, ok := c.Get(7); !ok {
+		t.Fatal("warm entry missing before Reset")
+	}
+	before := c.Stats()
+	c.Reset()
+	after := c.Stats()
+	if after.Entries != 0 || after.UsedBytes != 0 {
+		t.Fatalf("Reset left %d entries / %d bytes", after.Entries, after.UsedBytes)
+	}
+	if after.CapBytes != before.CapBytes {
+		t.Fatalf("Reset changed capacity %d → %d", before.CapBytes, after.CapBytes)
+	}
+	if after.Puts != before.Puts {
+		t.Fatalf("Reset lost cumulative counters: %+v vs %+v", after, before)
+	}
+	if _, ok := c.Get(7); ok {
+		t.Fatal("entry survived Reset")
+	}
+	var nilCache *Cache[int32, []float32]
+	nilCache.Reset() // disabled cache: must not panic
+}

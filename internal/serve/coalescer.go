@@ -2,7 +2,8 @@ package serve
 
 import (
 	"context"
-	"fmt"
+	"errors"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -15,20 +16,49 @@ import (
 // deduplicated vertex set and every waiter gets its row. Batches execute on
 // their own goroutines, so a slow batch never blocks window formation for
 // the next one.
+//
+// Shutdown contract: Close drains — every Submit that was admitted before
+// or concurrently with Close receives either its result (if its batch was
+// already running) or ErrCoalescerClosed; none blocks forever. Close
+// returns only after the dispatcher has failed all pending requests, and
+// Submits that arrive after Close fail immediately with ErrCoalescerClosed.
+//
+// Admission contract: when maxPending > 0, Submit sheds load with
+// ErrSaturated as soon as the number of admitted-but-unfinished requests
+// would exceed the bound — the signal the HTTP layer turns into
+// 429 + Retry-After so a saturated replica degrades loudly instead of
+// queueing without bound.
 type Coalescer struct {
-	infer    func([]int32) (*tensor.Matrix, error)
-	maxBatch int
-	maxWait  time.Duration
+	infer      func([]int32) (*tensor.Matrix, error)
+	maxBatch   int
+	maxWait    time.Duration
+	maxPending int64 // ≤ 0: unbounded
 
-	reqs chan *pendingReq
-	quit chan struct{}
+	reqs    chan *pendingReq
+	quit    chan struct{}
+	drained chan struct{} // closed once dispatch has failed all pending reqs
+
+	// enqueuing counts Submits inside the enqueue select; the post-Close
+	// drain loop spins until it reaches zero so a request racing Close can
+	// never be stranded between "sent to reqs" and "received by nobody".
+	enqueuing atomic.Int64
 
 	requests   atomic.Int64
 	batches    atomic.Int64
 	batchedReq atomic.Int64 // requests that shared a batch with ≥1 other
 	dedupSaved atomic.Int64 // duplicate vertices removed before inference
 	maxSeen    atomic.Int64
+	pending    atomic.Int64 // admitted, not yet answered
+	shed       atomic.Int64 // rejected with ErrSaturated
 }
+
+// ErrCoalescerClosed is returned by Submit for requests admitted or arriving
+// while the coalescer shuts down.
+var ErrCoalescerClosed = errors.New("serve: coalescer closed")
+
+// ErrSaturated is returned by Submit when the pending-request bound is hit.
+// The HTTP layer maps it to 429 Too Many Requests with Retry-After.
+var ErrSaturated = errors.New("serve: coalescer saturated, retry later")
 
 type pendingReq struct {
 	vertex int32
@@ -48,13 +78,20 @@ type CoalescerStats struct {
 	DedupSaved      int64   `json:"dedup_saved"`
 	MaxBatch        int64   `json:"max_batch_observed"`
 	AvgBatch        float64 `json:"avg_batch"`
+	// Pending is the instantaneous admitted-but-unanswered depth;
+	// MaxPending the admission bound (0 = unbounded); Shed the requests
+	// rejected with ErrSaturated (served as 429s upstream).
+	Pending    int64 `json:"pending"`
+	MaxPending int64 `json:"max_pending"`
+	Shed       int64 `json:"shed"`
 }
 
 // NewCoalescer starts a coalescer over the given inference function.
 // maxBatch ≤ 1 disables merging — every request is its own batch (the
 // batch-of-1 reference arm of the serving benchmark). maxWait ≤ 0 defaults
-// to 2ms.
-func NewCoalescer(infer func([]int32) (*tensor.Matrix, error), maxBatch int, maxWait time.Duration) *Coalescer {
+// to 2ms. maxPending > 0 bounds the admitted-request depth (ErrSaturated
+// beyond it); ≤ 0 admits everything.
+func NewCoalescer(infer func([]int32) (*tensor.Matrix, error), maxBatch int, maxWait time.Duration, maxPending int) *Coalescer {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -62,38 +99,66 @@ func NewCoalescer(infer func([]int32) (*tensor.Matrix, error), maxBatch int, max
 		maxWait = 2 * time.Millisecond
 	}
 	c := &Coalescer{
-		infer:    infer,
-		maxBatch: maxBatch,
-		maxWait:  maxWait,
-		reqs:     make(chan *pendingReq),
-		quit:     make(chan struct{}),
+		infer:      infer,
+		maxBatch:   maxBatch,
+		maxWait:    maxWait,
+		maxPending: int64(maxPending),
+		reqs:       make(chan *pendingReq),
+		quit:       make(chan struct{}),
+		drained:    make(chan struct{}),
 	}
 	go c.dispatch()
 	return c
 }
 
 // Submit enqueues one vertex query and blocks until its result row (a
-// private copy) is ready, the context is canceled, or the coalescer closes.
+// private copy) is ready, the context is canceled, the admission bound
+// rejects it (ErrSaturated), or the coalescer closes (ErrCoalescerClosed).
 func (c *Coalescer) Submit(ctx context.Context, vertex int32) ([]float32, error) {
+	if n := c.pending.Add(1); c.maxPending > 0 && n > c.maxPending {
+		c.pending.Add(-1)
+		c.shed.Add(1)
+		return nil, ErrSaturated
+	}
+	defer c.pending.Add(-1)
+
 	p := &pendingReq{vertex: vertex, done: make(chan inferResult, 1)}
+	c.enqueuing.Add(1)
 	select {
 	case c.reqs <- p:
+		c.enqueuing.Add(-1)
 	case <-ctx.Done():
+		c.enqueuing.Add(-1)
 		return nil, ctx.Err()
 	case <-c.quit:
-		return nil, fmt.Errorf("serve: coalescer closed")
+		c.enqueuing.Add(-1)
+		return nil, ErrCoalescerClosed
 	}
 	select {
 	case r := <-p.done:
 		return r.row, r.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	case <-c.quit:
+		// The request is enqueued, so the shutdown drain guarantees a done
+		// send; prefer a result that already arrived over the close error.
+		select {
+		case r := <-p.done:
+			return r.row, r.err
+		default:
+			return nil, ErrCoalescerClosed
+		}
 	}
 }
 
-// Close stops the dispatcher. In-flight batches complete; later Submits
-// fail.
-func (c *Coalescer) Close() { close(c.quit) }
+// Close stops the dispatcher and drains: every pending request receives
+// ErrCoalescerClosed (or its result, for batches already inferring); later
+// Submits fail immediately. Close returns after the drain completes and is
+// safe to call from any goroutine, but only once.
+func (c *Coalescer) Close() {
+	close(c.quit)
+	<-c.drained
+}
 
 // Stats snapshots the batching counters.
 func (c *Coalescer) Stats() CoalescerStats {
@@ -103,6 +168,9 @@ func (c *Coalescer) Stats() CoalescerStats {
 		BatchedRequests: c.batchedReq.Load(),
 		DedupSaved:      c.dedupSaved.Load(),
 		MaxBatch:        c.maxSeen.Load(),
+		Pending:         c.pending.Load(),
+		MaxPending:      c.maxPending,
+		Shed:            c.shed.Load(),
 	}
 	if st.Batches > 0 {
 		st.AvgBatch = float64(st.Requests) / float64(st.Batches)
@@ -111,13 +179,16 @@ func (c *Coalescer) Stats() CoalescerStats {
 }
 
 // dispatch forms batches: block for the first request, then fill the
-// window until maxBatch or maxWait.
+// window until maxBatch or maxWait. On quit it drains before exiting so no
+// admitted request is stranded.
 func (c *Coalescer) dispatch() {
+	defer close(c.drained)
 	for {
 		var first *pendingReq
 		select {
 		case first = <-c.reqs:
 		case <-c.quit:
+			c.drainPending()
 			return
 		}
 		batch := []*pendingReq{first}
@@ -132,13 +203,32 @@ func (c *Coalescer) dispatch() {
 					break fill
 				case <-c.quit:
 					timer.Stop()
-					c.fail(batch, fmt.Errorf("serve: coalescer closed"))
+					c.fail(batch, ErrCoalescerClosed)
+					c.drainPending()
 					return
 				}
 			}
 			timer.Stop()
 		}
 		go c.run(batch)
+	}
+}
+
+// drainPending runs after quit: requests that won the enqueue select
+// concurrently with Close are received here and failed with the closed
+// error. It spins until no Submit is still inside the enqueue select —
+// after that, any new Submit observes quit and fails on its own.
+func (c *Coalescer) drainPending() {
+	for {
+		select {
+		case p := <-c.reqs:
+			p.done <- inferResult{err: ErrCoalescerClosed}
+		default:
+			if c.enqueuing.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+		}
 	}
 }
 

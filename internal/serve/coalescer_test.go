@@ -31,7 +31,7 @@ func TestCoalescerMergesConcurrentRequests(t *testing.T) {
 		time.Sleep(time.Millisecond) // let the window fill
 		return echoInfer(&calls, &seen)(vs)
 	}
-	c := NewCoalescer(slow, 16, 50*time.Millisecond)
+	c := NewCoalescer(slow, 16, 50*time.Millisecond, 0)
 	defer c.Close()
 
 	const n = 32
@@ -74,7 +74,7 @@ func TestCoalescerMergesConcurrentRequests(t *testing.T) {
 
 func TestCoalescerBatchOfOneMode(t *testing.T) {
 	var calls, seen atomic.Int64
-	c := NewCoalescer(echoInfer(&calls, &seen), 1, time.Millisecond)
+	c := NewCoalescer(echoInfer(&calls, &seen), 1, time.Millisecond, 0)
 	defer c.Close()
 	for i := 0; i < 5; i++ {
 		row, err := c.Submit(context.Background(), int32(i))
@@ -96,7 +96,7 @@ func TestCoalescerBatchOfOneMode(t *testing.T) {
 
 func TestCoalescerTimerFlushesPartialBatch(t *testing.T) {
 	var calls, seen atomic.Int64
-	c := NewCoalescer(echoInfer(&calls, &seen), 1024, 5*time.Millisecond)
+	c := NewCoalescer(echoInfer(&calls, &seen), 1024, 5*time.Millisecond, 0)
 	defer c.Close()
 	start := time.Now()
 	row, err := c.Submit(context.Background(), 42)
@@ -113,7 +113,7 @@ func TestCoalescerTimerFlushesPartialBatch(t *testing.T) {
 
 func TestCoalescerPropagatesInferenceError(t *testing.T) {
 	boom := fmt.Errorf("boom")
-	c := NewCoalescer(func([]int32) (*tensor.Matrix, error) { return nil, boom }, 4, time.Millisecond)
+	c := NewCoalescer(func([]int32) (*tensor.Matrix, error) { return nil, boom }, 4, time.Millisecond, 0)
 	defer c.Close()
 	if _, err := c.Submit(context.Background(), 1); err == nil {
 		t.Fatal("error swallowed")
@@ -125,7 +125,7 @@ func TestCoalescerContextCancel(t *testing.T) {
 	c := NewCoalescer(func(vs []int32) (*tensor.Matrix, error) {
 		<-block
 		return tensor.New(len(vs), 1), nil
-	}, 1, time.Millisecond)
+	}, 1, time.Millisecond, 0)
 	defer c.Close()
 	defer close(block)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
@@ -137,9 +137,119 @@ func TestCoalescerContextCancel(t *testing.T) {
 
 func TestCoalescerClosedSubmitFails(t *testing.T) {
 	var calls, seen atomic.Int64
-	c := NewCoalescer(echoInfer(&calls, &seen), 4, time.Millisecond)
+	c := NewCoalescer(echoInfer(&calls, &seen), 4, time.Millisecond, 0)
 	c.Close()
 	if _, err := c.Submit(context.Background(), 1); err == nil {
 		t.Fatal("submit after close succeeded")
+	}
+}
+
+// TestCoalescerCloseNeverStrandsSubmit is the shutdown-stranding regression
+// pin: pre-fix, a Submit that enqueued concurrently with Close could block
+// forever (the waiting select did not watch quit, and dispatch exited
+// without draining the request channel). Hammer Submit against Close under
+// the race detector and require every Submit to return — with either a
+// real result or ErrCoalescerClosed — within a hard deadline.
+func TestCoalescerCloseNeverStrandsSubmit(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		var calls, seen atomic.Int64
+		c := NewCoalescer(echoInfer(&calls, &seen), 8, 100*time.Microsecond, 0)
+
+		const n = 24
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// Cancel-free context: pre-fix, this Submit could hang.
+				row, err := c.Submit(context.Background(), int32(i))
+				switch {
+				case err == nil:
+					if int32(row[0]) != int32(i) {
+						errs <- fmt.Errorf("vertex %d got row %v", i, row[0])
+					}
+				case err == ErrCoalescerClosed:
+				default:
+					errs <- fmt.Errorf("vertex %d: unexpected error %v", i, err)
+				}
+			}(i)
+		}
+		// Close races the Submits above.
+		go c.Close()
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iter %d: Submit stranded across Close", iter)
+		}
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCoalescerAdmissionControlSheds pins the bounded-pending contract:
+// once maxPending requests are admitted and unanswered, further Submits
+// fail fast with ErrSaturated and are counted as shed.
+func TestCoalescerAdmissionControlSheds(t *testing.T) {
+	release := make(chan struct{})
+	c := NewCoalescer(func(vs []int32) (*tensor.Matrix, error) {
+		<-release
+		out := tensor.New(len(vs), 1)
+		for i, v := range vs {
+			out.Set(i, 0, float32(v))
+		}
+		return out, nil
+	}, 1, time.Millisecond, 2)
+	defer c.Close()
+
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := c.Submit(context.Background(), int32(i))
+			results <- err
+		}(i)
+	}
+	// Wait until both occupy the pending budget.
+	for deadline := time.Now().Add(5 * time.Second); c.Stats().Pending < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending never reached 2: %+v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Submit(context.Background(), 99); err != ErrSaturated {
+		t.Fatalf("over-budget Submit: got %v, want ErrSaturated", err)
+	}
+	if st := c.Stats(); st.Shed != 1 || st.MaxPending != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("admitted request failed: %v", err)
+		}
+	}
+	if st := c.Stats(); st.Pending != 0 {
+		t.Fatalf("pending not drained: %+v", st)
+	}
+}
+
+// TestCoalescerCloseWaitsForDrain pins that Close blocks until the
+// dispatcher has handed every stranded request its error: after Close
+// returns, a fresh Submit must fail immediately.
+func TestCoalescerCloseWaitsForDrain(t *testing.T) {
+	var calls, seen atomic.Int64
+	c := NewCoalescer(echoInfer(&calls, &seen), 4, time.Millisecond, 0)
+	c.Close()
+	start := time.Now()
+	if _, err := c.Submit(context.Background(), 1); err != ErrCoalescerClosed {
+		t.Fatalf("post-close Submit: got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("post-close Submit blocked %v", d)
 	}
 }

@@ -2,11 +2,17 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log"
+	"math"
 	"net/http"
+	"net/url"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +43,14 @@ type Config struct {
 	// MaxBatch ≤ 1 disables coalescing.
 	MaxBatch int
 	MaxWait  time.Duration
+	// MaxPending bounds the admitted-but-unanswered request depth; beyond
+	// it /predict and /embed shed load with 429 + Retry-After instead of
+	// queueing without bound. ≤ 0 disables admission control.
+	MaxPending int
+	// EnableReload exposes POST /reload: atomically hot-swap the engine to
+	// a new checkpoint (build-validate-flip; in-flight requests finish on
+	// the old engine). Off by default — reloading reads server-side files.
+	EnableReload bool
 	// FeatureCacheBytes budgets the gathered-input-feature cache;
 	// EmbedCacheBytes budgets the final-layer embedding cache. ≤ 0
 	// disables the respective cache.
@@ -65,7 +79,10 @@ func (cfg *Config) applyDefaults() {
 // /healthz. In shard mode (NewShard) it additionally routes requests for
 // vertices owned by another rank to that rank's server.
 type Server struct {
-	engine *Engine
+	// engine is behind an atomic pointer so /reload can hot-swap it while
+	// requests are in flight: readers load once per operation and finish on
+	// whichever engine they loaded.
+	engine atomic.Pointer[Engine]
 	co     *Coalescer
 	emb    *Cache[int32, []float32]
 	cfg    Config
@@ -74,8 +91,11 @@ type Server struct {
 	shard  *shardState // nil in single-process mode
 	proxy  http.Client
 
+	reloadMu sync.Mutex // serializes build-validate-flip sequences
+
 	predicts atomic.Int64
 	embeds   atomic.Int64
+	reloads  atomic.Int64
 }
 
 // New loads the checkpoint into a forward-only model described by cfg and
@@ -103,17 +123,18 @@ func New(ds *datasets.Dataset, checkpoint io.Reader, cfg Config) (*Server, error
 // newServer assembles the HTTP pipeline around a ready engine.
 func newServer(eng *Engine, cfg Config) *Server {
 	s := &Server{
-		engine: eng,
-		emb:    NewCache[int32, []float32](cfg.EmbedCacheBytes, 0),
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
-		proxy:  http.Client{Timeout: 30 * time.Second},
+		emb:   NewCache[int32, []float32](cfg.EmbedCacheBytes, 0),
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		proxy: http.Client{Timeout: 30 * time.Second},
 	}
-	s.co = NewCoalescer(s.inferAndCache, cfg.MaxBatch, cfg.MaxWait)
+	s.engine.Store(eng)
+	s.co = NewCoalescer(s.inferAndCache, cfg.MaxBatch, cfg.MaxWait, cfg.MaxPending)
 	s.mux.HandleFunc("/predict", s.handlePredict)
 	s.mux.HandleFunc("/embed", s.handleEmbed)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprintln(w, "ok")
@@ -121,8 +142,8 @@ func newServer(eng *Engine, cfg Config) *Server {
 	return s
 }
 
-// Engine exposes the underlying inference engine (benchmarks and tests).
-func (s *Server) Engine() *Engine { return s.engine }
+// Engine exposes the current inference engine (benchmarks and tests).
+func (s *Server) Engine() *Engine { return s.engine.Load() }
 
 // Handler returns the HTTP handler for all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -146,17 +167,99 @@ func (s *Server) Close() {
 
 // inferAndCache is the coalescer's batch function: one engine pass, then
 // the final-layer rows are published to the embedding cache so later
-// requests for the same vertices short-circuit inference entirely.
+// requests for the same vertices short-circuit inference entirely. The
+// engine is loaded once: a batch in flight across a /reload finishes on
+// the engine it started with, and its rows are not published if the flip
+// (and the cache reset that follows it) happened underneath.
 func (s *Server) inferAndCache(vertices []int32) (*tensor.Matrix, error) {
-	out, err := s.engine.Infer(vertices)
+	eng := s.engine.Load()
+	out, err := eng.Infer(vertices)
 	if err != nil {
 		return nil, err
 	}
-	for i, v := range vertices {
-		row := append([]float32(nil), out.Row(i)...)
-		s.emb.Put(v, row, 4*len(row))
+	if s.engine.Load() == eng {
+		for i, v := range vertices {
+			row := append([]float32(nil), out.Row(i)...)
+			s.emb.Put(v, row, 4*len(row))
+		}
 	}
 	return out, nil
+}
+
+// Reload hot-swaps the serving engine to a new checkpoint: a fresh engine
+// is built against the same spec and validated (parameter names/shapes,
+// finite probe inference) before a single atomic pointer flip makes it
+// live; any failure leaves the old engine serving untouched. In-flight
+// batches finish on the engine they loaded, and the embedding cache is
+// reset at the flip so the new model never serves the old model's rows.
+// The raw-feature caches survive — input features are model-independent.
+func (s *Server) Reload(checkpoint io.Reader) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	old := s.engine.Load()
+	spec := old.Spec()
+	// Build against fp32 and adopt the old engine's resident feature store
+	// afterwards — re-rounding a bf16 slab that already exists is pure
+	// waste, and sharing keeps the swap allocation-light.
+	buildSpec := spec
+	buildSpec.FeatPrecision = quant.FP32
+	eng, err := NewEngine(old.ds, buildSpec, s.cfg.Fanouts, 0)
+	if err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	eng.spec = spec
+	eng.feats = old.feats
+	eng.feat = old.feat
+	eng.src = old.src
+	if err := nn.ReadParams(checkpoint, eng.Params()); err != nil {
+		return fmt.Errorf("serve: reload checkpoint does not match serving model %s: %w", spec, err)
+	}
+	if out, err := eng.Infer([]int32{0}); err != nil {
+		return fmt.Errorf("serve: reload probe inference: %w", err)
+	} else {
+		for _, v := range out.Row(0) {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return fmt.Errorf("serve: reload probe produced non-finite logits — checkpoint rejected")
+			}
+		}
+	}
+	s.engine.Store(eng)
+	s.emb.Reset()
+	s.reloads.Add(1)
+	return nil
+}
+
+// handleReload is POST /reload?checkpoint=PATH (or the checkpoint bytes as
+// the request body). Gated by Config.EnableReload because the path form
+// reads server-side files.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.EnableReload {
+		httpError(w, http.StatusForbidden, fmt.Errorf("reload disabled (start with -reload)"))
+		return
+	}
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST /reload"))
+		return
+	}
+	var src io.Reader = r.Body
+	if path := r.URL.Query().Get("checkpoint"); path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		defer f.Close()
+		src = f
+	}
+	if err := s.Reload(src); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"reloaded": true,
+		"model":    s.engine.Load().Spec().String(),
+		"reloads":  s.reloads.Load(),
+	})
 }
 
 // lookup serves a vertex's final-layer output: embedding cache first, then
@@ -189,6 +292,7 @@ type Stats struct {
 	Model          string         `json:"model"`
 	Predicts       int64          `json:"predicts"`
 	Embeds         int64          `json:"embeds"`
+	Reloads        int64          `json:"reloads"`
 	Coalescer      CoalescerStats `json:"coalescer"`
 	Engine         EngineStats    `json:"engine"`
 	FeatureCache   CacheStats     `json:"feature_cache"`
@@ -198,16 +302,18 @@ type Stats struct {
 
 // StatsSnapshot returns the same snapshot /stats serves.
 func (s *Server) StatsSnapshot() Stats {
+	eng := s.engine.Load()
 	st := Stats{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Arch:           s.engine.Spec().Arch,
-		Mode:           s.engine.Mode(),
-		Model:          s.engine.Spec().String(),
+		Arch:           eng.Spec().Arch,
+		Mode:           eng.Mode(),
+		Model:          eng.Spec().String(),
 		Predicts:       s.predicts.Load(),
 		Embeds:         s.embeds.Load(),
+		Reloads:        s.reloads.Load(),
 		Coalescer:      s.co.Stats(),
-		Engine:         s.engine.Stats(),
-		FeatureCache:   s.engine.FeatureCacheStats(),
+		Engine:         eng.Stats(),
+		FeatureCache:   eng.FeatureCacheStats(),
 		EmbeddingCache: s.emb.Stats(),
 	}
 	if s.shard != nil {
@@ -242,8 +348,19 @@ func (s *Server) routeIfRemote(w http.ResponseWriter, r *http.Request, vertex in
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
-		addr+r.URL.Path+"?"+r.URL.RawQuery, nil)
+	base, err := url.Parse(addr)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError,
+			fmt.Errorf("bad owner address %q for rank %d: %v", addr, owner, err))
+		return true
+	}
+	target := url.URL{
+		Scheme:   base.Scheme,
+		Host:     base.Host,
+		Path:     r.URL.Path,
+		RawQuery: r.URL.RawQuery, // empty query stays empty — no dangling "?"
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target.String(), nil)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return true
@@ -261,7 +378,11 @@ func (s *Server) routeIfRemote(w http.ResponseWriter, r *http.Request, vertex in
 		w.Header().Set("Content-Type", ct)
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The status line is already gone, so the response cannot be
+		// repaired — log instead of silently truncating.
+		log.Printf("serve: proxying vertex %d to rank %d: response copy: %v", vertex, owner, err)
+	}
 	return true
 }
 
@@ -276,7 +397,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.predicts.Add(1)
 	row, err := s.lookup(r, vertex)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		lookupError(w, err)
 		return
 	}
 	writeJSON(w, PredictResponse{Vertex: vertex, Class: argmax(row), Logits: row})
@@ -293,10 +414,25 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	s.embeds.Add(1)
 	row, err := s.lookup(r, vertex)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		lookupError(w, err)
 		return
 	}
 	writeJSON(w, EmbedResponse{Vertex: vertex, Embedding: row})
+}
+
+// lookupError maps coalescer outcomes to HTTP semantics: saturation is the
+// load-shedding signal (429 + Retry-After so clients and the replica
+// frontend back off or fail over), shutdown is 503, anything else 500.
+func lookupError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrCoalescerClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -315,9 +451,9 @@ func (s *Server) vertexParam(w http.ResponseWriter, r *http.Request) (int32, boo
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad vertex %q: %v", raw, err))
 		return 0, false
 	}
-	if v < 0 || int(v) >= s.engine.ds.G.NumVertices {
+	if n := s.engine.Load().ds.G.NumVertices; v < 0 || int(v) >= n {
 		httpError(w, http.StatusBadRequest,
-			fmt.Errorf("vertex %d out of range [0,%d)", v, s.engine.ds.G.NumVertices))
+			fmt.Errorf("vertex %d out of range [0,%d)", v, n))
 		return 0, false
 	}
 	return int32(v), true

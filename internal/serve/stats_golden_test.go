@@ -26,7 +26,10 @@ var statsGoldenKeys = []string{
 	"coalescer.batches",
 	"coalescer.dedup_saved",
 	"coalescer.max_batch_observed",
+	"coalescer.max_pending",
+	"coalescer.pending",
 	"coalescer.requests",
+	"coalescer.shed",
 	"embedding_cache",
 	"embeds",
 	"engine",
@@ -37,6 +40,7 @@ var statsGoldenKeys = []string{
 	"mode",
 	"model",
 	"predicts",
+	"reloads",
 	"uptime_seconds",
 }
 
