@@ -1,12 +1,25 @@
-// Command distgnn-train trains GraphSAGE full-batch on a synthetic
-// benchmark dataset: on a single socket, distributed across in-process
-// simulated sockets, or as one rank of a true multi-process run over TCP.
+// Command distgnn-train trains GraphSAGE on a synthetic benchmark
+// dataset: full-batch on a single socket, full-batch distributed across
+// in-process simulated sockets or a true multi-process TCP fleet, or
+// neighbor-sampled mini-batch (-minibatch) with training vertices and
+// features sharded across ranks (-shards) over the shared featstore
+// plane — halo feature rows fetched from owning peers with an LRU cache
+// and one-batch prefetch overlapping compute.
 //
 // Examples:
 //
 //	distgnn-train -dataset reddit-sim -epochs 50 -lr 0.01
 //	distgnn-train -dataset ogbn-products-sim -sockets 8 -algo cd-r -delay 5
 //	distgnn-train -dataset ogbn-products-sim -sockets 8 -algo cd-rs -delay 5
+//	distgnn-train -minibatch -fanouts 10,5 -batch 512 -shards 4
+//	distgnn-train -minibatch -shards 2 -transport tcp -spawn-local
+//
+// Mini-batch runs are seed-reproducible: given the same -seed and rank
+// count, the final model parameters are bit-identical whether features
+// are sharded or replicated and whether the fleet is in-process or TCP
+// (each rank's sampler is seeded seed+rank; gradients are AllReduced in
+// rank order). Changing the rank count changes the sampler-seed set and
+// the global batch composition, so it legitimately changes the trajectory.
 //
 // True multi-process training over TCP (see README "Running true
 // multi-process training"): every process runs this same binary with its
@@ -24,12 +37,14 @@ import (
 	"math"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"time"
 
 	"distgnn/internal/comm"
 	"distgnn/internal/datasets"
 	"distgnn/internal/graphio"
+	"distgnn/internal/minibatch"
 	"distgnn/internal/model"
 	"distgnn/internal/nn"
 	"distgnn/internal/quant"
@@ -75,25 +90,43 @@ func main() {
 		"tcp: fork -sockets processes of this binary over loopback; this process trains rank 0")
 	netTimeout := flag.Duration("net-timeout", comm.DefaultTCPTimeout,
 		"tcp: deadline for dial/handshake/send/recv/barrier operations")
+	mb := flag.Bool("minibatch", false,
+		"neighbor-sampled mini-batch GraphSAGE training (Dist-DGL style) instead of full-batch; layer count comes from -fanouts, not -layers")
+	fanouts := flag.String("fanouts", "10,5",
+		"minibatch: per-hop neighbor fan-outs, seed hop first; one GraphSAGE layer per entry")
+	batch := flag.Int("batch", 512, "minibatch: seed vertices per rank per step")
+	shards := flag.Int("shards", 0,
+		"minibatch: shard training vertices AND features across this many ranks (halo rows fetched over the comm fabric); 0 keeps features replicated over -sockets ranks")
+	haloCache := flag.Int64("halo-cache", 32<<20,
+		"minibatch -shards: per-rank LRU budget in bytes for fetched halo feature rows (≤0 disables)")
 	flag.Parse()
+
+	if *mb && *transport == "tcp" && *shards <= 1 {
+		fatal(fmt.Errorf("-minibatch over tcp requires -shards >1 (replicated mini-batch runs are in-process)"))
+	}
 
 	// TCP fabric setup happens before the (identical, deterministic)
 	// dataset generation so spawned ranks start rendezvousing while the
-	// parent builds its graph.
+	// parent builds its graph. Sharded mini-batch fleets are sized by
+	// -shards; full-batch fleets by -sockets.
+	fleet := *sockets
+	if *mb && *shards > 1 {
+		fleet = *shards
+	}
 	var tr comm.Transport
 	var children []*exec.Cmd
-	tcpMode := *transport == "tcp" && *sockets > 1
+	tcpMode := *transport == "tcp" && fleet > 1
 	switch {
 	case *transport != "inproc" && *transport != "tcp":
 		fatal(fmt.Errorf("unknown -transport %q (inproc or tcp)", *transport))
 	case tcpMode:
 		var err error
-		tr, children, err = setupTCP(*sockets, *rank, *peers, *listen, *advertise, *spawnLocal, *netTimeout)
+		tr, children, err = setupTCP(fleet, *rank, *peers, *listen, *advertise, *spawnLocal, *netTimeout)
 		if err != nil {
 			fatal(err)
 		}
 	case *spawnLocal:
-		fatal(fmt.Errorf("-spawn-local requires -transport tcp and -sockets >1"))
+		fatal(fmt.Errorf("-spawn-local requires -transport tcp and more than one rank"))
 	}
 	// Rank 0 speaks for a TCP fleet; other ranks train silently.
 	verbose := !tcpMode || *rank == 0
@@ -124,6 +157,19 @@ func main() {
 	prec, err := parseFeatPrecision(*featPrec)
 	if err != nil {
 		fatal(err)
+	}
+	if *mb {
+		fo, err := parseFanouts(*fanouts)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := minibatch.Config{
+			Hidden: *hidden, NumLayers: len(fo), Fanouts: fo,
+			BatchSize: *batch, Epochs: *epochs, LR: *lr, UseAdam: *adam,
+			Seed: *seed, Workers: *workers, FeatPrecision: prec,
+		}
+		runMinibatch(ds, cfg, tr, children, *shards, *sockets, *haloCache, *seed, verbose)
+		return
 	}
 	mc := model.Config{
 		Hidden: *hidden, NumLayers: *layers, Seed: *seed,
@@ -210,6 +256,95 @@ func main() {
 		tr.Close()
 	}
 	waitChildren(children)
+}
+
+// runMinibatch drives neighbor-sampled mini-batch training: sharded
+// features over the featstore plane when -shards >0 (inproc or one TCP
+// rank of a fleet), replicated features over -sockets in-process ranks
+// otherwise. Final parameters are bit-identical across rank counts and
+// transports given the same -seed (the distributed-minibatch conformance
+// pin), so the printed loss trace and accuracy are too.
+func runMinibatch(ds *datasets.Dataset, cfg minibatch.Config, tr comm.Transport,
+	children []*exec.Cmd, shards, sockets int, haloCache, seed int64, verbose bool) {
+	var res *minibatch.DistResult
+	var err error
+	start := time.Now()
+	if shards > 0 {
+		if verbose {
+			fabric := "inproc"
+			if tr != nil {
+				fabric = "tcp"
+			}
+			fmt.Printf("minibatch: fanouts %v, batch %d/rank, %d shards (%s), halo cache %d MiB/rank\n",
+				cfg.Fanouts, cfg.BatchSize, shards, fabric, haloCache>>20)
+		}
+		res, err = minibatch.TrainSharded(ds, minibatch.ShardedTrainConfig{
+			DistConfig: minibatch.DistConfig{Config: cfg, NumRanks: shards},
+			Transport:  tr, PartitionSeed: seed, CacheBytes: haloCache,
+		})
+	} else {
+		if tr != nil {
+			comm.KillRanks(children)
+			fatal(fmt.Errorf("replicated -minibatch needs -shards to run over tcp"))
+		}
+		ranks := sockets
+		if ranks < 1 {
+			ranks = 1
+		}
+		if verbose {
+			fmt.Printf("minibatch: fanouts %v, batch %d/rank, %d ranks (replicated features)\n",
+				cfg.Fanouts, cfg.BatchSize, ranks)
+		}
+		res, err = minibatch.TrainDistributed(ds, minibatch.DistConfig{Config: cfg, NumRanks: ranks})
+	}
+	if err != nil {
+		comm.KillRanks(children)
+		fatal(err)
+	}
+	wall := time.Since(start)
+	if verbose {
+		for e, st := range res.Epochs {
+			if e%5 == 0 || e == len(res.Epochs)-1 {
+				fmt.Printf("epoch %3d  loss %.4f  time %v  steps %d  sampled-work %d\n",
+					e, st.Loss, st.Time.Round(time.Millisecond), st.Steps, st.SampledWork)
+			}
+		}
+		var hits, misses, fetchedVerts int64
+		for _, hs := range res.HaloStats {
+			hits += hs.HaloHits
+			misses += hs.HaloMisses
+			fetchedVerts += hs.HaloFetchedVertices
+		}
+		if hits+misses > 0 || fetchedVerts > 0 {
+			rate := 0.0
+			if hits+misses > 0 {
+				rate = float64(hits) / float64(hits+misses)
+			}
+			fmt.Printf("halo: cache hit rate %.1f%% (%d rows fetched from peers)\n",
+				100*rate, fetchedVerts)
+		}
+		fmt.Printf("accuracy: test %.2f%%  (wall %.2fs, %.3fs/epoch)\n",
+			100*res.TestAcc, wall.Seconds(), wall.Seconds()/float64(len(res.Epochs)))
+	}
+	checkFiniteLoss(res.Epochs[len(res.Epochs)-1].Loss)
+	if tr != nil {
+		tr.Close()
+	}
+	waitChildren(children)
+}
+
+// parseFanouts parses the -fanouts comma list ("10,5" → [10 5]).
+func parseFanouts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	fo := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -fanouts %q: entries must be positive integers", s)
+		}
+		fo = append(fo, v)
+	}
+	return fo, nil
 }
 
 // setupTCP builds this process's TCP endpoint and, under -spawn-local,

@@ -36,7 +36,7 @@ const DefaultTolerance = 0.15
 
 // GatedExperiments lists the experiment IDs -check and -update-baseline
 // cover when none are named explicitly.
-func GatedExperiments() []string { return []string{"abl-kernels", "abl-serve"} }
+func GatedExperiments() []string { return []string{"abl-kernels", "abl-serve", "abl-distmb"} }
 
 // CheckRegression compares cur against base and returns one human-readable
 // failure per violated budget (empty = pass). A metric regresses when

@@ -1,0 +1,16 @@
+package featstore
+
+// SplitByOwner partitions frontier positions by owning shard: the result's
+// entry p lists every index i with owners[frontier[i]] == p, in frontier
+// order. k is the shard count. Callers validate that owners covers every
+// frontier vertex with values in [0, k). It is the ownership-resolution
+// half of a sharded gather, exposed so callers that know the split ahead of
+// time (the exact-mode serving path, the sampled trainer's prefetcher) can
+// compute it once and hand it to GatherSplit.
+func SplitByOwner(frontier []int32, owners []int32, k int) [][]int32 {
+	out := make([][]int32, k)
+	for i, v := range frontier {
+		out[owners[v]] = append(out[owners[v]], int32(i))
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 
 	"distgnn/internal/comm"
 	"distgnn/internal/datasets"
+	"distgnn/internal/featstore"
 	"distgnn/internal/nn"
 )
 
@@ -33,6 +34,15 @@ type DistEpochStat struct {
 type DistResult struct {
 	Epochs  []DistEpochStat
 	TestAcc float64
+	// Params is the final flattened parameter vector (rank 0's replica; all
+	// replicas are identical). The distributed-minibatch conformance harness
+	// compares it bit for bit across rank counts, transports, and against
+	// the replicated reference.
+	Params []float32
+	// HaloStats is the per-rank featstore fetch/cache snapshot, populated by
+	// TrainSharded only (rank-indexed; a TCP endpoint fills only its own
+	// rank's entry).
+	HaloStats []featstore.ShardedStats
 }
 
 // TrainDistributed runs data-parallel mini-batch training over NumRanks
@@ -174,6 +184,8 @@ func TrainDistributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error)
 		}
 		res.Epochs = append(res.Epochs, st)
 	}
+
+	res.Params = nn.FlattenParams(ranks[0].model.params(), false)
 
 	// Replicas are identical; evaluate with rank 0's model and sampler.
 	res.TestAcc = evaluate(ds, ranks[0].sampler, ranks[0].model, cfg.BatchSize, feats)

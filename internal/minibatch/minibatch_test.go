@@ -1,6 +1,7 @@
 package minibatch
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -199,5 +200,59 @@ func TestSampledWorkBelowFullBatchWork(t *testing.T) {
 	fullWork := int64(ds.G.NumEdges) * int64(ds.Features.Cols+16)
 	if res.Epochs[0].SampledWork >= fullWork {
 		t.Fatalf("sampled work %d not below full-batch %d", res.Epochs[0].SampledWork, fullWork)
+	}
+}
+
+// TestSamplePickFloydUniform pins the Floyd branch's distribution: with
+// n > floydThreshold·k every index must be included with probability k/n.
+// Tolerance is ±6σ of the per-index binomial proportion over the trials, so
+// a systematic bias fails while sampling noise never does.
+func TestSamplePickFloydUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, k, trials = 30, 5, 60000
+	if n <= floydThreshold*k {
+		t.Fatalf("n=%d k=%d does not engage the Floyd branch", n, k)
+	}
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		picked := samplePick(rng, n, k)
+		if len(picked) != k {
+			t.Fatalf("trial %d: %d picks, want %d", trial, len(picked), k)
+		}
+		for _, p := range picked {
+			counts[p]++
+		}
+	}
+	want := float64(k) / float64(n)
+	tol := 6 * math.Sqrt(want*(1-want)/float64(trials))
+	for i, c := range counts {
+		got := float64(c) / float64(trials)
+		if got < want-tol || got > want+tol {
+			t.Fatalf("index %d included at rate %.4f, want %.4f ± %.4f", i, got, want, tol)
+		}
+	}
+}
+
+// TestSamplePickFloydDistinct hammers the Floyd branch across shapes: picks
+// stay distinct, in range, and exactly k long whenever n > k.
+func TestSamplePickFloydDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 500; trial++ {
+		k := rng.Intn(8) + 1
+		n := floydThreshold*k + 1 + rng.Intn(200)
+		picked := samplePick(rng, n, k)
+		if len(picked) != k {
+			t.Fatalf("n=%d k=%d: %d picks", n, k, len(picked))
+		}
+		seen := map[int32]bool{}
+		for _, p := range picked {
+			if p < 0 || int(p) >= n {
+				t.Fatalf("n=%d k=%d: pick %d out of range", n, k, p)
+			}
+			if seen[p] {
+				t.Fatalf("n=%d k=%d: duplicate pick %d", n, k, p)
+			}
+			seen[p] = true
+		}
 	}
 }

@@ -1,6 +1,9 @@
 package minibatch
 
-import "distgnn/internal/graph"
+import (
+	"distgnn/internal/featstore"
+	"distgnn/internal/graph"
+)
 
 // owned.go is the partition-aware view of exact block extraction: the
 // sharded serving engine expands k-hop blocks over the replicated topology
@@ -13,13 +16,11 @@ import "distgnn/internal/graph"
 // SplitByOwner partitions frontier positions by owning shard: the result's
 // entry p lists every index i with owners[frontier[i]] == p, in frontier
 // order. k is the shard count. Callers validate that owners covers every
-// frontier vertex with values in [0, k).
+// frontier vertex with values in [0, k). The implementation lives in
+// internal/featstore (the feature-sourcing plane resolves ownership for
+// every sharded gather); this alias keeps the sampling-side API complete.
 func SplitByOwner(frontier []int32, owners []int32, k int) [][]int32 {
-	out := make([][]int32, k)
-	for i, v := range frontier {
-		out[owners[v]] = append(out[owners[v]], int32(i))
-	}
-	return out
+	return featstore.SplitByOwner(frontier, owners, k)
 }
 
 // FullSampleOwned is the partition-aware FullSample: the identical exact

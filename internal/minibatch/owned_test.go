@@ -43,6 +43,66 @@ func TestSplitByOwnerPartitionsEveryPosition(t *testing.T) {
 	}
 }
 
+// TestSplitByOwnerRecoversPermutation: concatenating the per-owner position
+// lists in owner order yields a permutation of the frontier positions —
+// including when some shards own nothing and when one shard owns everything.
+func TestSplitByOwnerRecoversPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cases := []struct {
+		name    string
+		n, k    int
+		ownerOf func(v int) int32
+	}{
+		{"random", 80, 5, func(v int) int32 { return int32(rng.Intn(5)) }},
+		{"all-one-owner", 80, 5, func(v int) int32 { return 3 }},
+		{"empty-middle-shard", 80, 4, func(v int) int32 {
+			// Shard 2 owns no vertex at all.
+			o := int32(v % 4)
+			if o == 2 {
+				o = 1
+			}
+			return o
+		}},
+		{"empty-frontier", 10, 3, func(v int) int32 { return int32(v % 3) }},
+	}
+	for _, tc := range cases {
+		owners := make([]int32, tc.n)
+		for v := range owners {
+			owners[v] = tc.ownerOf(v)
+		}
+		frontierLen := 50
+		if tc.name == "empty-frontier" {
+			frontierLen = 0
+		}
+		frontier := make([]int32, frontierLen)
+		for i := range frontier {
+			frontier[i] = int32(rng.Intn(tc.n)) // duplicates allowed
+		}
+		split := SplitByOwner(frontier, owners, tc.k)
+		if len(split) != tc.k {
+			t.Fatalf("%s: %d shards, want %d", tc.name, len(split), tc.k)
+		}
+		var concat []int32
+		for _, pos := range split {
+			concat = append(concat, pos...)
+		}
+		if len(concat) != len(frontier) {
+			t.Fatalf("%s: concatenated split has %d positions, frontier has %d",
+				tc.name, len(concat), len(frontier))
+		}
+		seen := make([]bool, len(frontier))
+		for _, i := range concat {
+			if i < 0 || int(i) >= len(frontier) {
+				t.Fatalf("%s: position %d outside frontier", tc.name, i)
+			}
+			if seen[i] {
+				t.Fatalf("%s: position %d appears twice", tc.name, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
 // TestFullSampleOwnedMatchesFullSample: the partition-aware form builds the
 // identical Sample (the bit-identity contract rides on this) and its split
 // covers the input frontier.

@@ -52,6 +52,12 @@ type Sample struct {
 func (s *Sample) InputFrontier() []int32 { return s.Frontiers[len(s.Frontiers)-1] }
 
 // Sampler draws fixed-fanout neighborhoods from a graph.
+//
+// A Sampler is NOT safe for concurrent use: Sample consumes the Rng stream,
+// and reproducibility contracts (the distributed-minibatch conformance
+// harness, serving's sampled mode behind its mutex) depend on that stream
+// being drawn in batch order by exactly one goroutine. Distributed trainers
+// create one Sampler per rank (seeded Seed+rank) rather than sharing one.
 type Sampler struct {
 	G *graph.CSR
 	// Fanouts[h] is the neighbor budget when expanding hop h (Fanouts[0]
@@ -171,13 +177,49 @@ func expandFull(g *graph.CSR, dst []int32) (*Block, []int32) {
 	return blk, next
 }
 
-// samplePick returns up to k distinct indices in [0, n), uniformly, using a
-// partial Fisher–Yates over an index array only when it pays off.
+// floydThreshold selects the samplePick strategy: Floyd's algorithm engages
+// when n > floydThreshold·k, where its O(k) memory beats the partial
+// Fisher–Yates' O(n) index array and its linear membership scans (≤ k per
+// draw) stay cheaper than the array initialization.
+const floydThreshold = 4
+
+// samplePick returns up to k distinct indices in [0, n), uniformly at
+// random. Dense picks (n within a small factor of k) run a partial
+// Fisher–Yates over an index array; sparse picks (k ≪ n — a small fanout
+// into a heavy-tailed degree, paid per destination per hop) use Floyd's
+// algorithm, which allocates O(k) and draws exactly k variates. The two
+// branches consume different RNG streams, so changing the branch boundary
+// changes the sampled sets for the same seed — equally uniform, and no
+// cross-version pin depends on the stream (conformance harnesses compare
+// runs of the same build).
 func samplePick(rng *rand.Rand, n, k int) []int32 {
 	if n <= k {
 		out := make([]int32, n)
 		for i := range out {
 			out[i] = int32(i)
+		}
+		return out
+	}
+	if n > floydThreshold*k {
+		// Floyd's F2: for j = n-k … n-1, draw t uniform on [0, j]; take t
+		// unless already taken, else take j. Each of the C(n, k) subsets is
+		// equally likely. Membership is a linear scan over the picks so far —
+		// at most k elements, cache-resident for fanout-sized k.
+		out := make([]int32, 0, k)
+		for j := n - k; j < n; j++ {
+			t := int32(rng.Intn(j + 1))
+			taken := false
+			for _, v := range out {
+				if v == t {
+					taken = true
+					break
+				}
+			}
+			if taken {
+				out = append(out, int32(j))
+			} else {
+				out = append(out, t)
+			}
 		}
 		return out
 	}

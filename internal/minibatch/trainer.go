@@ -195,6 +195,32 @@ func (m *mbModel) forward(s *Sample, feats spmm.FeatRows, training bool) *tensor
 	return h
 }
 
+// forwardGathered is forward with the input-frontier features handed in as
+// an already-gathered matrix instead of read from a resident store — the
+// sharded trainer's path, where the gather crossed the comm fabric. For
+// fp32 stores the two are bit-identical: AggregateGCN over the gathered
+// matrix is exactly the unfused form of AggregateGCNFrom (the PR 6 kernel
+// pin), and a sharded gather returns the resident matrix's exact bits.
+func (m *mbModel) forwardGathered(s *Sample, x *tensor.Matrix, training bool) *tensor.Matrix {
+	m.blocks = m.blocks[:0]
+	var h *tensor.Matrix
+	for l := len(s.Blocks) - 1; l >= 0; l-- {
+		layer := len(s.Blocks) - 1 - l
+		blk := s.Blocks[l]
+		m.blocks = append(m.blocks, blk)
+		src := h
+		if layer == 0 {
+			src = x
+		}
+		agg := AggregateGCN(blk, src, blk.Norms())
+		h = m.layers[layer].Forward(agg, training)
+		if m.relus[layer] != nil {
+			h = m.relus[layer].Forward(h, training)
+		}
+	}
+	return h
+}
+
 // backward propagates the seed-logit gradient back through all layers.
 func (m *mbModel) backward(dlogits *tensor.Matrix) {
 	dy := dlogits

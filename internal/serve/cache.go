@@ -1,160 +1,27 @@
 package serve
 
-import (
-	"hash/maphash"
-	"sync"
+import "distgnn/internal/featstore"
 
-	"distgnn/internal/cachesim"
-)
+// The serving cache is the feature-sourcing plane's LRU: the implementation
+// lives in internal/featstore (shared with the sharded sampled trainer),
+// and serve aliases it so existing call sites — and the /stats JSON schema
+// the golden test pins — are untouched.
 
-// cacheEntryOverhead is the bookkeeping charge added to every entry's
-// payload size: list element, map slot, slice header. It keeps the byte
-// budget honest for many small entries.
-const cacheEntryOverhead = 64
-
-// defaultCacheShards spreads lock contention across independent LRU cores.
-// 16 shards keep a 16-worker closed loop essentially uncontended.
-const defaultCacheShards = 16
+// Cache is the concurrency-safe byte-budgeted LRU used for gathered
+// features, embeddings, and remote halo rows. See featstore.Cache.
+type Cache[K comparable, V any] = featstore.Cache[K, V]
 
 // CacheStats is a point-in-time snapshot of one cache's counters, surfaced
-// verbatim in the server's /stats endpoint.
-type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Puts      int64 `json:"puts"`
-	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	UsedBytes int64 `json:"used_bytes"`
-	CapBytes  int64 `json:"capacity_bytes"`
-}
+// verbatim in /stats. See featstore.CacheStats.
+type CacheStats = featstore.CacheStats
 
-// HitRate returns hits/(hits+misses), 0 when idle.
-func (s CacheStats) HitRate() float64 {
-	if s.Hits+s.Misses == 0 {
-		return 0
-	}
-	return float64(s.Hits) / float64(s.Hits+s.Misses)
-}
-
-// Cache is the concurrency-safe LRU of the serving path: the cachesim
-// generic core behind shard locks, byte-budgeted, with hit/miss/eviction
-// counters. A nil *Cache is a valid disabled cache (every Get misses
-// silently, Put is a no-op) — the cold-path arm of the serving benchmark.
-type Cache[K comparable, V any] struct {
-	seed   maphash.Seed
-	shards []cacheShard[K, V]
-}
-
-type cacheShard[K comparable, V any] struct {
-	mu                            sync.Mutex
-	core                          *cachesim.Core[K, V]
-	hits, misses, puts, evictions int64
-}
+// cacheEntryOverhead mirrors featstore's per-entry bookkeeping charge for
+// budget math in this package and its tests.
+const cacheEntryOverhead = featstore.CacheEntryOverhead
 
 // NewCache builds a sharded cache with a total byte budget split evenly
 // across shards. A non-positive budget returns nil — the disabled cache.
 // shards ≤ 0 selects the default shard count.
 func NewCache[K comparable, V any](capacityBytes int64, shards int) *Cache[K, V] {
-	if capacityBytes <= 0 {
-		return nil
-	}
-	if shards <= 0 {
-		shards = defaultCacheShards
-	}
-	// Power-of-two shard count so the hash folds with a mask.
-	n := 1
-	for n < shards {
-		n <<= 1
-	}
-	// Split in int64 (int(capacityBytes) truncates on 32-bit platforms) and
-	// give the division remainder to shard 0 so the shard capacities sum to
-	// exactly the requested budget.
-	per := capacityBytes / int64(n)
-	if per < 1 {
-		n = 1
-		per = capacityBytes
-	}
-	rem := capacityBytes - per*int64(n)
-	c := &Cache[K, V]{seed: maphash.MakeSeed(), shards: make([]cacheShard[K, V], n)}
-	for i := range c.shards {
-		cap := per
-		if i == 0 {
-			cap += rem
-		}
-		c.shards[i].core = cachesim.NewCore[K, V](int(cap))
-	}
-	return c
-}
-
-// Reset discards every entry while keeping capacities and cumulative
-// counters — the post-/reload invalidation that stops a hot-swapped model
-// from serving the old model's cached embeddings.
-func (c *Cache[K, V]) Reset() {
-	if c == nil {
-		return
-	}
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		s.core = cachesim.NewCore[K, V](s.core.Cap())
-		s.mu.Unlock()
-	}
-}
-
-func (c *Cache[K, V]) shard(key K) *cacheShard[K, V] {
-	h := maphash.Comparable(c.seed, key)
-	return &c.shards[h&uint64(len(c.shards)-1)]
-}
-
-// Get returns the cached value for key, promoting it to most recent.
-func (c *Cache[K, V]) Get(key K) (V, bool) {
-	if c == nil {
-		var zero V
-		return zero, false
-	}
-	s := c.shard(key)
-	s.mu.Lock()
-	v, ok := s.core.Get(key)
-	if ok {
-		s.hits++
-	} else {
-		s.misses++
-	}
-	s.mu.Unlock()
-	return v, ok
-}
-
-// Put stores value under key, charging payloadBytes plus a fixed per-entry
-// overhead against the shard's budget and evicting LRU entries to fit.
-func (c *Cache[K, V]) Put(key K, value V, payloadBytes int) {
-	if c == nil {
-		return
-	}
-	s := c.shard(key)
-	s.mu.Lock()
-	ev, _ := s.core.Put(key, value, payloadBytes+cacheEntryOverhead)
-	s.puts++
-	s.evictions += int64(ev)
-	s.mu.Unlock()
-}
-
-// Stats aggregates counters across shards.
-func (c *Cache[K, V]) Stats() CacheStats {
-	if c == nil {
-		return CacheStats{}
-	}
-	var out CacheStats
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		out.Hits += s.hits
-		out.Misses += s.misses
-		out.Puts += s.puts
-		out.Evictions += s.evictions
-		out.Entries += s.core.Len()
-		out.UsedBytes += int64(s.core.Used())
-		out.CapBytes += int64(s.core.Cap())
-		s.mu.Unlock()
-	}
-	return out
+	return featstore.NewCache[K, V](capacityBytes, shards)
 }

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"distgnn/internal/datasets"
+	"distgnn/internal/featstore"
 	"distgnn/internal/minibatch"
 	"distgnn/internal/nn"
 	"distgnn/internal/quant"
@@ -103,13 +104,13 @@ type EngineStats struct {
 // featureSource materializes the raw input features for a block's
 // outermost frontier — the one stage of exact inference whose data may not
 // be resident in this process. The single-process engine reads the full
-// feature matrix (localFeatures); the sharded engine reads its owned slice
-// and fetches halo rows from their owner ranks (shardFeatures, shard.go).
-// Everything downstream of the gather is identical either way, which is
-// what keeps sharded exact-mode logits bit-identical to single-process
-// ones.
+// feature matrix (featstore.Local); the sharded engine reads its owned
+// slice and fetches halo rows from their owner ranks (featstore.Sharded via
+// shardFeatures, shard.go). Everything downstream of the gather is
+// identical either way, which is what keeps sharded exact-mode logits
+// bit-identical to single-process ones. featstore.Source satisfies it.
 type featureSource interface {
-	gather(frontier []int32) (*tensor.Matrix, error)
+	Gather(frontier []int32) (*tensor.Matrix, error)
 }
 
 // exactSampler lets a featureSource own exact-mode block extraction when it
@@ -181,7 +182,7 @@ func NewEngine(ds *datasets.Dataset, spec ModelSpec, fanouts []int, featureCache
 	default:
 		return nil, fmt.Errorf("serve: unsupported feature precision %v (fp32 or bf16)", spec.FeatPrecision)
 	}
-	e.src = &localFeatures{feats: e.feats, cache: e.feat}
+	e.src = featstore.NewLocal(e.feats, e.feat)
 	switch spec.Arch {
 	case ArchGraphSAGE:
 		e.buildSage()
@@ -313,7 +314,7 @@ func (e *Engine) Infer(seeds []int32) (*tensor.Matrix, error) {
 		e.samplerMu.Lock()
 		s = e.sampler.Sample(seeds)
 		e.samplerMu.Unlock()
-		x, err = e.src.gather(s.InputFrontier())
+		x, err = e.src.Gather(s.InputFrontier())
 	case e.fusedExact():
 		// GraphSAGE exact mode over the resident store with no feature
 		// cache: skip the gather entirely — the fused kernel streams
@@ -331,7 +332,7 @@ func (e *Engine) Infer(seeds []int32) (*tensor.Matrix, error) {
 			break
 		}
 		s = minibatch.FullSample(e.ds.G, seeds, e.spec.NumLayers)
-		x, err = e.src.gather(s.InputFrontier())
+		x, err = e.src.Gather(s.InputFrontier())
 	}
 	if err != nil {
 		return nil, err
@@ -358,32 +359,6 @@ func (e *Engine) fusedExact() bool {
 	}
 	_, sharded := e.src.(exactSampler)
 	return !sharded
-}
-
-// localFeatures gathers from the full in-process feature matrix, serving
-// rows from the feature cache when resident. With the whole matrix resident
-// the cache cannot beat a direct Row copy — it is the stand-in for the
-// remote/out-of-core feature fetch a deployment at real scale pays per miss
-// (the paper's feature-locality cost; the sharded engine pays it for real
-// over the comm fabric), and its hit/miss counters in /stats measure
-// exactly the reuse such a tier would capture.
-type localFeatures struct {
-	feats spmm.FeatRows
-	cache *Cache[int32, []float32]
-}
-
-func (lf *localFeatures) gather(frontier []int32) (*tensor.Matrix, error) {
-	x := tensor.New(len(frontier), lf.feats.Cols())
-	for i, gv := range frontier {
-		row := x.Row(i)
-		if cached, ok := lf.cache.Get(gv); ok {
-			copy(row, cached)
-			continue
-		}
-		lf.feats.CopyRow(row, int(gv))
-		lf.cache.Put(gv, append([]float32(nil), row...), 4*len(row))
-	}
-	return x, nil
 }
 
 // forwardSage runs the GCN-aggregator GraphSAGE layers over the sampled or

@@ -161,7 +161,7 @@ func (s *Server) Router() *Router {
 func (s *Server) Close() {
 	s.co.Close()
 	if s.shard != nil {
-		s.shard.rr.Close()
+		s.shard.fs.Close()
 	}
 }
 
@@ -338,7 +338,7 @@ func (s *Server) routeIfRemote(w http.ResponseWriter, r *http.Request, vertex in
 		return false
 	}
 	owner := s.shard.router.Owner(vertex)
-	if owner == s.shard.rank {
+	if owner == s.shard.fs.Rank() {
 		return false
 	}
 	addr := s.shard.router.Addr(owner)

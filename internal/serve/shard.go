@@ -7,6 +7,7 @@ import (
 
 	"distgnn/internal/comm"
 	"distgnn/internal/datasets"
+	"distgnn/internal/featstore"
 	"distgnn/internal/graph"
 	"distgnn/internal/minibatch"
 	"distgnn/internal/nn"
@@ -154,30 +155,19 @@ type ShardStats struct {
 	RemoteCache        CacheStats `json:"remote_cache"`
 }
 
-// shardState is one rank's slice of the sharded engine: the owned feature
-// slab, the owner table and router, the remote-feature cache, and the
-// request/reply endpoint answering peers' halo fetches.
+// shardState is one rank's slice of the sharded engine: the shared
+// feature-sourcing plane (featstore.Sharded: owned slab, halo fetch
+// endpoint, remote LRU) plus the serving-only pieces — the HTTP router, the
+// partition's static halo size, and the proxy-traffic counters.
 type shardState struct {
-	rank, shards int
-	partitioner  string
-	owners       []int32
-	router       *Router
-	g            *graph.CSR     // replicated topology, for owned block extraction
-	slab         *tensor.Matrix // owned feature rows, compact
-	slabRow      []int32        // global vertex → slab row, -1 when not owned
-	featDim      int
-	rr           *comm.ReqRep
-	remote       *Cache[int32, []float32]
-	haloStatic   int
+	partitioner string
+	router      *Router
+	g           *graph.CSR // replicated topology, for owned block extraction
+	fs          *featstore.Sharded
+	haloStatic  int
 
-	haloHits       atomic.Int64
-	haloMisses     atomic.Int64
-	haloFetches    atomic.Int64
-	haloVertices   atomic.Int64
-	served         atomic.Int64
-	servedVertices atomic.Int64
-	routedOut      atomic.Int64
-	routedIn       atomic.Int64
+	routedOut atomic.Int64
+	routedIn  atomic.Int64
 }
 
 func newShardState(ds *datasets.Dataset, cfg Config, sc ShardConfig) (*shardState, error) {
@@ -209,88 +199,54 @@ func newShardState(ds *datasets.Dataset, cfg Config, sc ShardConfig) (*shardStat
 	if err != nil {
 		return nil, err
 	}
-
-	st := &shardState{
-		rank: sc.Rank, shards: sc.Shards,
-		partitioner: sc.Partitioner.Name(),
-		owners:      owners,
-		router:      router,
-		g:           ds.G,
-		featDim:     ds.Features.Cols,
-		slabRow:     make([]int32, ds.G.NumVertices),
-		haloStatic:  len(pt.Halo(sc.Rank)),
-	}
 	cacheBytes := sc.RemoteCacheBytes
 	if cacheBytes == 0 {
 		cacheBytes = cfg.FeatureCacheBytes
 	}
-	st.remote = NewCache[int32, []float32](cacheBytes, 0)
-
-	// Materialize this rank's feature slice. Everything after this copy
-	// reads the slab, never ds.Features — the engine's view of non-owned
-	// features exists only behind the fetch protocol.
-	owned := 0
-	for v := range st.slabRow {
-		if owners[v] == int32(sc.Rank) {
-			st.slabRow[v] = int32(owned)
-			owned++
-		} else {
-			st.slabRow[v] = -1
-		}
-	}
-	st.slab = tensor.New(owned, st.featDim)
-	for v, row := range st.slabRow {
-		if row >= 0 {
-			copy(st.slab.Row(int(row)), ds.Features.Row(v))
-		}
-	}
-
-	st.rr, err = comm.NewReqRep(sc.Transport, sc.Rank, st.handleFetch)
+	fs, err := featstore.NewSharded(featstore.ShardedConfig{
+		Rank: sc.Rank, Shards: sc.Shards,
+		Transport:  sc.Transport,
+		Owners:     owners,
+		Features:   ds.Features,
+		CacheBytes: cacheBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return st, nil
+	return &shardState{
+		partitioner: sc.Partitioner.Name(),
+		router:      router,
+		g:           ds.G,
+		fs:          fs,
+		haloStatic:  len(pt.Halo(sc.Rank)),
+	}, nil
 }
 
-// handleFetch answers a peer's halo feature fetch: the request is vertex
-// IDs (bit-packed int32s), the reply their owned feature rows concatenated
-// in request order.
-func (st *shardState) handleFetch(from int, req []float32) ([]float32, error) {
-	ids := comm.F32ToInt32s(req)
-	out := make([]float32, 0, len(ids)*st.featDim)
-	for _, v := range ids {
-		if v < 0 || int(v) >= len(st.slabRow) || st.slabRow[v] < 0 {
-			return nil, fmt.Errorf("serve: rank %d does not own vertex %d (fetch from rank %d)",
-				st.rank, v, from)
-		}
-		out = append(out, st.slab.Row(int(st.slabRow[v]))...)
-	}
-	st.served.Add(1)
-	st.servedVertices.Add(int64(len(ids)))
-	return out, nil
-}
-
-// stats snapshots the shard counters.
+// stats snapshots the shard counters: the featstore plane's gather/fetch
+// counters plus serve's routing traffic, composed into the pinned /stats
+// shape.
 func (st *shardState) stats() ShardStats {
+	fss := st.fs.Stats()
 	return ShardStats{
-		Rank: st.rank, Shards: st.shards, Partitioner: st.partitioner,
-		OwnedVertices:       st.slab.Rows,
+		Rank: st.fs.Rank(), Shards: st.fs.Shards(), Partitioner: st.partitioner,
+		OwnedVertices:       fss.OwnedVertices,
 		HaloVerticesStatic:  st.haloStatic,
 		RoutedOut:           st.routedOut.Load(),
 		RoutedIn:            st.routedIn.Load(),
-		HaloHits:            st.haloHits.Load(),
-		HaloMisses:          st.haloMisses.Load(),
-		HaloFetches:         st.haloFetches.Load(),
-		HaloFetchedVertices: st.haloVertices.Load(),
-		PeerServedFetches:   st.served.Load(),
-		PeerServedVertices:  st.servedVertices.Load(),
-		RemoteCache:         st.remote.Stats(),
+		HaloHits:            fss.HaloHits,
+		HaloMisses:          fss.HaloMisses,
+		HaloFetches:         fss.HaloFetches,
+		HaloFetchedVertices: fss.HaloFetchedVertices,
+		PeerServedFetches:   fss.PeerServedFetches,
+		PeerServedVertices:  fss.PeerServedVertices,
+		RemoteCache:         fss.RemoteCache,
 	}
 }
 
-// shardFeatures is the sharded featureSource: local frontier positions read
-// the slab, halo positions are served from the remote cache or batched into
-// one fetch per owner rank, fanned out concurrently.
+// shardFeatures is the sharded featureSource: it reads through the shared
+// featstore.Sharded plane (local positions from the owned slab, halo
+// positions from the remote cache or one batched fetch per owner rank) and
+// adds the serving engine's exact-mode block extraction on top.
 type shardFeatures struct {
 	st *shardState
 }
@@ -300,74 +256,15 @@ type shardFeatures struct {
 // would (the bit-identity contract) and hands the input frontier over
 // pre-split by owner, so ownership is resolved once per request.
 func (sf *shardFeatures) sampleExact(seeds []int32, hops int) (*minibatch.Sample, *tensor.Matrix, error) {
-	s, split := minibatch.FullSampleOwned(sf.st.g, seeds, hops, sf.st.owners, sf.st.shards)
-	x, err := sf.gatherSplit(s.InputFrontier(), split)
+	fs := sf.st.fs
+	s, split := minibatch.FullSampleOwned(sf.st.g, seeds, hops, fs.Owners(), fs.Shards())
+	x, err := fs.GatherSplit(s.InputFrontier(), split)
 	return s, x, err
 }
 
-func (sf *shardFeatures) gather(frontier []int32) (*tensor.Matrix, error) {
-	return sf.gatherSplit(frontier, minibatch.SplitByOwner(frontier, sf.st.owners, sf.st.shards))
-}
-
-func (sf *shardFeatures) gatherSplit(frontier []int32, split [][]int32) (*tensor.Matrix, error) {
-	st := sf.st
-	x := tensor.New(len(frontier), st.featDim)
-
-	for _, i := range split[st.rank] {
-		copy(x.Row(int(i)), st.slab.Row(int(st.slabRow[frontier[i]])))
-	}
-
-	var peers []int
-	var reqs [][]float32
-	var missPos [][]int32
-	for p := 0; p < st.shards; p++ {
-		if p == st.rank || len(split[p]) == 0 {
-			continue
-		}
-		var miss []int32
-		for _, i := range split[p] {
-			v := frontier[i]
-			if row, ok := st.remote.Get(v); ok {
-				st.haloHits.Add(1)
-				copy(x.Row(int(i)), row)
-			} else {
-				st.haloMisses.Add(1)
-				miss = append(miss, i)
-			}
-		}
-		if len(miss) == 0 {
-			continue
-		}
-		ids := make([]int32, len(miss))
-		for j, i := range miss {
-			ids[j] = frontier[i]
-		}
-		peers = append(peers, p)
-		reqs = append(reqs, comm.Int32sToF32(ids))
-		missPos = append(missPos, miss)
-	}
-	if len(peers) == 0 {
-		return x, nil
-	}
-	replies, err := st.rr.CallAll(peers, reqs)
-	if err != nil {
-		return nil, fmt.Errorf("serve: halo fetch: %w", err)
-	}
-	for k, rep := range replies {
-		pos := missPos[k]
-		if len(rep) != len(pos)*st.featDim {
-			return nil, fmt.Errorf("serve: halo fetch from rank %d returned %d floats for %d vertices × %d features",
-				peers[k], len(rep), len(pos), st.featDim)
-		}
-		for j, i := range pos {
-			row := rep[j*st.featDim : (j+1)*st.featDim]
-			copy(x.Row(int(i)), row)
-			st.remote.Put(frontier[i], append([]float32(nil), row...), 4*st.featDim)
-		}
-		st.haloFetches.Add(1)
-		st.haloVertices.Add(int64(len(pos)))
-	}
-	return x, nil
+// Gather satisfies featureSource for the engine's non-exact paths.
+func (sf *shardFeatures) Gather(frontier []int32) (*tensor.Matrix, error) {
+	return sf.st.fs.Gather(frontier)
 }
 
 // NewShard builds one rank of a sharded serving fleet: the same
