@@ -50,8 +50,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -59,6 +61,7 @@ import (
 	"distgnn/internal/comm"
 	"distgnn/internal/datasets"
 	"distgnn/internal/graphio"
+	"distgnn/internal/obs"
 	"distgnn/internal/parallel"
 	"distgnn/internal/quant"
 	"distgnn/internal/serve"
@@ -109,6 +112,16 @@ func main() {
 		"serve the replicated frontend even with -replicas 1 (implied by -replicas >1)")
 	reloadOn := flag.Bool("reload", false,
 		"enable POST /reload checkpoint hot-swapping (reads server-side files via ?checkpoint=path)")
+	metricsOn := flag.Bool("metrics", true,
+		"expose GET /metrics (Prometheus text exposition) on every HTTP endpoint")
+	traceOn := flag.Bool("trace", false,
+		"per-request tracing: stage spans, GET /debug/trace/recent, cross-rank trace IDs on halo fetches")
+	slowLog := flag.String("slow-log", "",
+		"JSONL slow-request log path; each process appends to the path with its own instance tag spliced before the extension (requires -trace)")
+	slowThreshold := flag.Duration("slow-threshold", 0,
+		"minimum request duration for the slow log (0 logs every traced request)")
+	traceRing := flag.Int("trace-ring", 256, "recent-trace ring size behind /debug/trace/recent")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
 	flag.Parse()
 
 	if *checkpoint == "" {
@@ -143,12 +156,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	obsf := obsOptions{
+		metrics: *metricsOn, trace: *traceOn, pprof: *pprofOn,
+		slowLog: *slowLog, slowThreshold: *slowThreshold, ring: *traceRing,
+	}
 
 	if *replicas > 1 || *frontendOn {
 		runReplicated(cfg, replicatedOpts{
 			checkpoint: *checkpoint, dataset: *dataset, scale: *scale, file: *file,
 			addr: *addr, shards: *shards, replicas: *replicas,
 			transport: *transport, spawnLocal: *spawnLocal, partSeed: *partSeed,
+			obs: obsf,
 		})
 		return
 	}
@@ -194,7 +212,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		srv, err := serve.New(ds, ckpt, cfg)
+		scfg := cfg
+		scfg.Metrics, scfg.Tracer = obsf.wire("server", -1, portTag(*addr))
+		srv, err := serve.New(ds, ckpt, scfg)
 		ckpt.Close()
 		if err != nil {
 			fatal(err)
@@ -204,8 +224,8 @@ func main() {
 			srv.Engine().Spec(), *checkpoint, srv.Engine().Mode())
 		fmt.Printf("coalescer: max batch %d, max wait %v; caches: features %.0f MB, embeddings %.0f MB\n",
 			*maxBatch, *maxWait, *featCacheMB, *embCacheMB)
-		fmt.Printf("serving /predict /embed /stats /healthz on http://%s\n", *addr)
-		if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Printf("serving %s on http://%s\n", obsf.endpoints(), *addr)
+		if err := http.ListenAndServe(*addr, obsf.handler(srv.Handler())); err != nil {
 			fatal(err)
 		}
 		return
@@ -220,7 +240,9 @@ func main() {
 		httpPeers[r] = serve.PeerAddr{Rank: r, Addr: httpAddrs[r]}
 	}
 	mkShard := func(r int, fabric comm.Transport) *serve.Server {
-		srv, err := serve.NewShard(ds, bytes.NewReader(ckptBytes), cfg, serve.ShardConfig{
+		scfg := cfg
+		scfg.Metrics, scfg.Tracer = obsf.wire("server", r, "rank"+strconv.Itoa(r)+"-"+portTag(httpAddrs[r]))
+		srv, err := serve.NewShard(ds, bytes.NewReader(ckptBytes), scfg, serve.ShardConfig{
 			Rank: r, Shards: *shards, Transport: fabric,
 			HTTPPeers: httpPeers, PartitionSeed: *partSeed,
 		})
@@ -235,8 +257,8 @@ func main() {
 		st := srv.StatsSnapshot().Shard
 		fmt.Printf("shard rank %d/%d (tcp): owns %d vertices, static halo %d, model %s\n",
 			*rank, *shards, st.OwnedVertices, st.HaloVerticesStatic, srv.Engine().Spec())
-		fmt.Printf("serving /predict /embed /stats /healthz on http://%s\n", httpAddrs[*rank])
-		err := http.ListenAndServe(httpAddrs[*rank], srv.Handler())
+		fmt.Printf("serving %s on http://%s\n", obsf.endpoints(), httpAddrs[*rank])
+		err := http.ListenAndServe(httpAddrs[*rank], obsf.handler(srv.Handler()))
 		comm.KillRanks(children)
 		fatal(err)
 	}
@@ -251,11 +273,11 @@ func main() {
 		fmt.Printf("shard rank %d/%d (inproc): owns %d vertices, static halo %d, serving on http://%s\n",
 			r, *shards, st.OwnedVertices, st.HaloVerticesStatic, httpAddrs[r])
 		go func(r int, srv *serve.Server) {
-			errc <- http.ListenAndServe(httpAddrs[r], srv.Handler())
+			errc <- http.ListenAndServe(httpAddrs[r], obsf.handler(srv.Handler()))
 		}(r, srv)
 	}
-	fmt.Printf("model %s, %d shards, endpoints /predict /embed /stats /healthz\n",
-		serve.Arch(*arch), *shards)
+	fmt.Printf("model %s, %d shards, endpoints %s\n",
+		serve.Arch(*arch), *shards, obsf.endpoints())
 	fatal(<-errc)
 }
 
@@ -284,6 +306,92 @@ type replicatedOpts struct {
 	transport                 string
 	spawnLocal                bool
 	partSeed                  int64
+	obs                       obsOptions
+}
+
+// obsOptions carries the observability flags: each server instance (rank,
+// replica, or frontend) wires its own registry and tracer so scrape-time
+// metric funcs read that instance's counters and slow logs never interleave.
+type obsOptions struct {
+	metrics       bool
+	trace         bool
+	pprof         bool
+	slowLog       string
+	slowThreshold time.Duration
+	ring          int
+}
+
+// wire builds one instance's registry and tracer (nil when the respective
+// leg is off — the obs plane's disabled-is-free contract). The slow log
+// lands in a per-instance file keyed by tag (e.g. "rank0-8400",
+// "frontend-8399"), so spawned ranks sharing the flag never share a file.
+func (o obsOptions) wire(role string, rank int, tag string) (*obs.Registry, *obs.Tracer) {
+	var reg *obs.Registry
+	if o.metrics {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if o.trace {
+		tcfg := obs.TracerConfig{
+			Role: role, Rank: rank, RingSize: o.ring, SlowThreshold: o.slowThreshold,
+		}
+		if o.slowLog != "" {
+			f, err := os.OpenFile(slowLogPath(o.slowLog, tag),
+				os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			tcfg.SlowLog = f // process-lifetime writer; closed on exit
+		}
+		tracer = obs.NewTracer(tcfg)
+	}
+	return reg, tracer
+}
+
+// handler wraps a server's mux with the /debug/pprof/ endpoints under
+// -pprof; otherwise the mux is served as-is.
+func (o obsOptions) handler(h http.Handler) http.Handler {
+	if !o.pprof {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// endpoints renders the endpoint list for startup banners.
+func (o obsOptions) endpoints() string {
+	s := "/predict /embed /stats /healthz"
+	if o.metrics {
+		s += " /metrics"
+	}
+	if o.trace {
+		s += " /debug/trace/recent"
+	}
+	if o.pprof {
+		s += " /debug/pprof/"
+	}
+	return s
+}
+
+// slowLogPath splices the instance tag before the path's extension:
+// slow.jsonl + rank1-8401 → slow.rank1-8401.jsonl.
+func slowLogPath(path, tag string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + tag + ext
+}
+
+// portTag extracts the port of a listen address for instance tagging.
+func portTag(addr string) string {
+	if _, port, err := net.SplitHostPort(addr); err == nil {
+		return port
+	}
+	return strings.NewReplacer("/", "_", ":", "_").Replace(addr)
 }
 
 // runReplicated stands up R bit-identical serving replicas (single servers,
@@ -337,11 +445,15 @@ func runReplicated(cfg serve.Config, o replicatedOpts) {
 				fabric = comm.NewProcTransport(S)
 			}
 			for r := 0; r < S; r++ {
+				addr := backends[rep*S+r]
+				scfg := cfg
+				scfg.Metrics, scfg.Tracer = o.obs.wire("server", r,
+					"rank"+strconv.Itoa(r)+"-"+portTag(addr))
 				var srv *serve.Server
 				if S == 1 {
-					srv, err = serve.New(ds, bytes.NewReader(ckptBytes), cfg)
+					srv, err = serve.New(ds, bytes.NewReader(ckptBytes), scfg)
 				} else {
-					srv, err = serve.NewShard(ds, bytes.NewReader(ckptBytes), cfg, serve.ShardConfig{
+					srv, err = serve.NewShard(ds, bytes.NewReader(ckptBytes), scfg, serve.ShardConfig{
 						Rank: r, Shards: S, Transport: fabric,
 						HTTPPeers: httpPeers, PartitionSeed: o.partSeed,
 					})
@@ -349,10 +461,9 @@ func runReplicated(cfg serve.Config, o replicatedOpts) {
 				if err != nil {
 					fatal(err)
 				}
-				addr := backends[rep*S+r]
 				fmt.Printf("replica %d rank %d/%d on http://%s\n", rep, r, S, addr)
 				go func(addr string, srv *serve.Server) {
-					fatal(http.ListenAndServe(addr, srv.Handler()))
+					fatal(http.ListenAndServe(addr, o.obs.handler(srv.Handler())))
 				}(addr, srv)
 			}
 		}
@@ -399,13 +510,16 @@ func runReplicated(cfg serve.Config, o replicatedOpts) {
 		fatal(fmt.Errorf("unknown -transport %q (inproc or tcp)", o.transport))
 	}
 
-	f, err := serve.NewFrontend(serve.FrontendConfig{Groups: groups})
+	freg, ftracer := o.obs.wire("frontend", -1, "frontend-"+portTag(o.addr))
+	f, err := serve.NewFrontend(serve.FrontendConfig{
+		Groups: groups, Metrics: freg, Tracer: ftracer,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("frontend: %d shard groups × %d replicas, endpoints /predict /embed /stats /healthz /reload on http://%s\n",
-		S, R, o.addr)
-	fatal(http.ListenAndServe(o.addr, f.Handler()))
+	fmt.Printf("frontend: %d shard groups × %d replicas, endpoints %s /reload on http://%s\n",
+		S, R, o.obs.endpoints(), o.addr)
+	fatal(http.ListenAndServe(o.addr, o.obs.handler(f.Handler())))
 }
 
 // shardHTTPAddrs resolves the fleet's HTTP addresses: an explicit -peers

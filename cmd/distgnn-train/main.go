@@ -47,6 +47,7 @@ import (
 	"distgnn/internal/minibatch"
 	"distgnn/internal/model"
 	"distgnn/internal/nn"
+	"distgnn/internal/obs"
 	"distgnn/internal/quant"
 	"distgnn/internal/train"
 )
@@ -99,6 +100,14 @@ func main() {
 		"minibatch: shard training vertices AND features across this many ranks (halo rows fetched over the comm fabric); 0 keeps features replicated over -sockets ranks")
 	haloCache := flag.Int64("halo-cache", 32<<20,
 		"minibatch -shards: per-rank LRU budget in bytes for fetched halo feature rows (≤0 disables)")
+	telemetryPath := flag.String("telemetry", "",
+		"write per-epoch training telemetry as JSONL here (speaking rank only); losses carry exact float64 bit patterns")
+	metricsJSON := flag.String("metrics-json", "",
+		"dump a JSON metrics snapshot here at exit (speaking rank only)")
+	profileMode := flag.String("profile", "",
+		"capture a pprof profile over the whole run: cpu or mem")
+	profileOut := flag.String("profile-out", "",
+		"profile output path (default distgnn-train.<mode>.pprof)")
 	flag.Parse()
 
 	if *mb && *transport == "tcp" && *shards <= 1 {
@@ -130,6 +139,19 @@ func main() {
 	}
 	// Rank 0 speaks for a TCP fleet; other ranks train silently.
 	verbose := !tcpMode || *rank == 0
+
+	// Telemetry and profiling follow the speaking rank: spawned ranks
+	// inherit the parent's flags, so gating on verbose keeps them from
+	// clobbering the same output files.
+	tel := newTelemetry(*telemetryPath, *metricsJSON, verbose)
+	stopProf := func() {}
+	if verbose && *profileMode != "" {
+		out := *profileOut
+		if out == "" {
+			out = "distgnn-train." + *profileMode + ".pprof"
+		}
+		stopProf = startProfile(*profileMode, out)
+	}
 
 	var ds *datasets.Dataset
 	var err error
@@ -168,7 +190,7 @@ func main() {
 			BatchSize: *batch, Epochs: *epochs, LR: *lr, UseAdam: *adam,
 			Seed: *seed, Workers: *workers, FeatPrecision: prec,
 		}
-		runMinibatch(ds, cfg, tr, children, *shards, *sockets, *haloCache, *seed, verbose)
+		runMinibatch(ds, cfg, tr, children, *shards, *sockets, *haloCache, *seed, verbose, tel, stopProf)
 		return
 	}
 	mc := model.Config{
@@ -191,6 +213,17 @@ func main() {
 		}
 		fmt.Printf("accuracy: train %.2f%%  val %.2f%%  test %.2f%%\n",
 			100*res.TrainAcc, 100*res.ValAcc, 100*res.TestAcc)
+		for e, st := range res.Epochs {
+			tel.epoch(e, st.Loss, map[string]any{
+				"wall_s": st.Total.Seconds(), "agg_s": st.Agg.Seconds(),
+			})
+		}
+		tel.run(map[string]any{
+			"mode": "single", "train_acc": res.TrainAcc, "val_acc": res.ValAcc,
+			"test_acc": res.TestAcc, "test_acc_bits": obs.F64Bits(res.TestAcc),
+		}, nil)
+		tel.close()
+		stopProf()
 		checkFiniteLoss(res.Epochs[len(res.Epochs)-1].Loss)
 		if *save != "" {
 			f, err := os.Create(*save)
@@ -251,6 +284,21 @@ func main() {
 		}
 		fmt.Printf("accuracy: train %.2f%%  test %.2f%%\n", 100*res.TrainAcc, 100*res.TestAcc)
 	}
+	for e, st := range res.Epochs {
+		tel.epoch(e, st.Loss, map[string]any{
+			"sim_epoch_s": st.Epoch, "lat_s": st.LAT, "rat_s": st.RAT,
+			"exposed_net_s": st.ExposedNet, "param_sync_s": st.ParamSync,
+		})
+	}
+	tel.run(map[string]any{
+		"mode": "fullbatch-dist", "ranks": *sockets, "algo": *algo,
+		"wall_s": wall.Seconds(), "replication": res.Replication,
+		"edge_balance": res.EdgeBalance,
+		"train_acc":    res.TrainAcc, "test_acc": res.TestAcc,
+		"test_acc_bits": obs.F64Bits(res.TestAcc),
+	}, tr)
+	tel.close()
+	stopProf()
 	checkFiniteLoss(res.Epochs[len(res.Epochs)-1].Loss)
 	if tr != nil {
 		tr.Close()
@@ -265,7 +313,8 @@ func main() {
 // transports given the same -seed (the distributed-minibatch conformance
 // pin), so the printed loss trace and accuracy are too.
 func runMinibatch(ds *datasets.Dataset, cfg minibatch.Config, tr comm.Transport,
-	children []*exec.Cmd, shards, sockets int, haloCache, seed int64, verbose bool) {
+	children []*exec.Cmd, shards, sockets int, haloCache, seed int64, verbose bool,
+	tel *telemetry, stopProf func()) {
 	var res *minibatch.DistResult
 	var err error
 	start := time.Now()
@@ -302,6 +351,17 @@ func runMinibatch(ds *datasets.Dataset, cfg minibatch.Config, tr comm.Transport,
 		fatal(err)
 	}
 	wall := time.Since(start)
+	var hits, misses, fetchedVerts, fetchedBytes int64
+	for _, hs := range res.HaloStats {
+		hits += hs.HaloHits
+		misses += hs.HaloMisses
+		fetchedVerts += hs.HaloFetchedVertices
+		fetchedBytes += hs.HaloFetchedBytes
+	}
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
 	if verbose {
 		for e, st := range res.Epochs {
 			if e%5 == 0 || e == len(res.Epochs)-1 {
@@ -309,23 +369,31 @@ func runMinibatch(ds *datasets.Dataset, cfg minibatch.Config, tr comm.Transport,
 					e, st.Loss, st.Time.Round(time.Millisecond), st.Steps, st.SampledWork)
 			}
 		}
-		var hits, misses, fetchedVerts int64
-		for _, hs := range res.HaloStats {
-			hits += hs.HaloHits
-			misses += hs.HaloMisses
-			fetchedVerts += hs.HaloFetchedVertices
-		}
 		if hits+misses > 0 || fetchedVerts > 0 {
-			rate := 0.0
-			if hits+misses > 0 {
-				rate = float64(hits) / float64(hits+misses)
-			}
 			fmt.Printf("halo: cache hit rate %.1f%% (%d rows fetched from peers)\n",
 				100*rate, fetchedVerts)
 		}
 		fmt.Printf("accuracy: test %.2f%%  (wall %.2fs, %.3fs/epoch)\n",
 			100*res.TestAcc, wall.Seconds(), wall.Seconds()/float64(len(res.Epochs)))
 	}
+	for e, st := range res.Epochs {
+		tel.epoch(e, st.Loss, map[string]any{
+			"wall_s": st.Time.Seconds(), "steps": st.Steps,
+			"sampled_work": st.SampledWork, "allreduce_s": st.AllReduce.Seconds(),
+		})
+	}
+	mode := "minibatch-replicated"
+	if shards > 0 {
+		mode = "minibatch-sharded"
+	}
+	tel.run(map[string]any{
+		"mode": mode, "shards": shards, "wall_s": wall.Seconds(),
+		"test_acc": res.TestAcc, "test_acc_bits": obs.F64Bits(res.TestAcc),
+		"halo_hit_rate": rate, "halo_fetched_vertices": fetchedVerts,
+		"halo_fetched_bytes": fetchedBytes,
+	}, tr)
+	tel.close()
+	stopProf()
 	checkFiniteLoss(res.Epochs[len(res.Epochs)-1].Loss)
 	if tr != nil {
 		tr.Close()

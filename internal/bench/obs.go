@@ -1,0 +1,131 @@
+package bench
+
+// obs.go is the abl-obs ablation: the observability plane's overhead
+// contract, measured end to end. The same closed-loop /predict workload as
+// abl-serve runs against three arms of one serving configuration — obs
+// fully disabled (nil registry and tracer, the no-op fast path), metrics
+// registry enabled, and metrics plus per-request tracing — and the report
+// carries each arm's latency distribution. The contract: disabled obs is
+// free by construction (every method on a nil handle returns immediately),
+// and the metered arms stay within a few percent of the disabled arm's
+// p95. The gated envelope pins all three p95s so a regression in either
+// the instrument hooks or the no-op path fails -check.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"distgnn/internal/model"
+	"distgnn/internal/nn"
+	"distgnn/internal/obs"
+	"distgnn/internal/serve"
+	"distgnn/internal/train"
+)
+
+// ObsBenchRow is one observability arm's measurement.
+type ObsBenchRow struct {
+	Arm      string  `json:"arm"` // off, metrics, metrics+trace
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// ObsBenchReport is the BENCH_obs.json schema.
+type ObsBenchReport struct {
+	Experiment string        `json:"experiment"`
+	Scale      float64       `json:"scale"`
+	Epochs     int           `json:"epochs"`
+	Results    []ObsBenchRow `json:"results"`
+	// MetricsOverheadP95 and TraceOverheadP95 are each metered arm's p95
+	// divided by the disabled arm's p95 — the headline overhead ratios
+	// (want ≈1).
+	MetricsOverheadP95 float64 `json:"metrics_overhead_p95"`
+	TraceOverheadP95   float64 `json:"trace_overhead_p95"`
+	// Metrics and CalibSeconds are the regression-gate envelope: absolute
+	// p95 per arm, so both the hot hooks and the no-op path are pinned.
+	Metrics      map[string]float64 `json:"metrics"`
+	CalibSeconds float64            `json:"calib_seconds"`
+}
+
+// AblationObs measures the metrics and tracing hooks' serving-path cost.
+func AblationObs(opt Options) error {
+	ds, err := loadDataset("reddit-sim", opt.scale())
+	if err != nil {
+		return err
+	}
+	res, err := train.SingleSocket(ds, train.SingleConfig{
+		Model:  model.Config{Hidden: serveBenchHidden, NumLayers: serveBenchLayers, Seed: 1},
+		Epochs: opt.epochs(5), LR: 0.02, UseAdam: true,
+	})
+	if err != nil {
+		return err
+	}
+	var ckpt bytes.Buffer
+	if err := nn.WriteParams(&ckpt, res.Model.Params()); err != nil {
+		return err
+	}
+
+	workSet := make([]int32, min(serveBenchWorkSet, ds.G.NumVertices))
+	step := ds.G.NumVertices / len(workSet)
+	if step < 1 {
+		step = 1
+	}
+	for i := range workSet {
+		workSet[i] = int32((i * step) % ds.G.NumVertices)
+	}
+
+	report := ObsBenchReport{Experiment: "abl-obs", Scale: opt.scale(), Epochs: opt.epochs(5)}
+	t := &table{header: []string{"arm", "QPS", "p50", "p95", "p99"}}
+	for _, arm := range []string{"off", "metrics", "metrics+trace"} {
+		cfg := serve.Config{
+			Arch: serve.ArchGraphSAGE, Hidden: serveBenchHidden, NumLayers: serveBenchLayers,
+			MaxBatch: serveBenchMaxBatch, MaxWait: serveBenchMaxWait,
+		}
+		switch arm {
+		case "metrics":
+			cfg.Metrics = obs.NewRegistry()
+		case "metrics+trace":
+			cfg.Metrics = obs.NewRegistry()
+			// No slow log: the arm prices the span bookkeeping and ring
+			// buffer, not JSONL encoding of outliers.
+			cfg.Tracer = obs.NewTracer(obs.TracerConfig{Role: "server", Rank: -1})
+		}
+		row, err := runServeArm(ds, ckpt.Bytes(), cfg, 8, workSet, false)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, ObsBenchRow{
+			Arm: arm, Requests: row.Requests, QPS: row.QPS,
+			P50MS: row.P50MS, P95MS: row.P95MS, P99MS: row.P99MS,
+		})
+		t.add(arm, fmt.Sprintf("%.0f", row.QPS),
+			fmt.Sprintf("%.2fms", row.P50MS), fmt.Sprintf("%.2fms", row.P95MS),
+			fmt.Sprintf("%.2fms", row.P99MS))
+	}
+	t.write(opt.Out)
+
+	off := report.Results[0]
+	if off.P95MS > 0 {
+		report.MetricsOverheadP95 = report.Results[1].P95MS / off.P95MS
+		report.TraceOverheadP95 = report.Results[2].P95MS / off.P95MS
+	}
+	fmt.Fprintf(opt.Out, "\np95 overhead vs obs-off: metrics %.2fx, metrics+trace %.2fx (want ≈1)\n",
+		report.MetricsOverheadP95, report.TraceOverheadP95)
+
+	report.Metrics = map[string]float64{
+		"obs_off_p95_ms":   off.P95MS,
+		"obs_on_p95_ms":    report.Results[1].P95MS,
+		"obs_trace_p95_ms": report.Results[2].P95MS,
+	}
+	report.CalibSeconds = CalibrationSeconds()
+
+	if opt.JSON != nil {
+		enc := json.NewEncoder(opt.JSON)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	return nil
+}

@@ -36,7 +36,9 @@ const DefaultTolerance = 0.15
 
 // GatedExperiments lists the experiment IDs -check and -update-baseline
 // cover when none are named explicitly.
-func GatedExperiments() []string { return []string{"abl-kernels", "abl-serve", "abl-distmb"} }
+func GatedExperiments() []string {
+	return []string{"abl-kernels", "abl-serve", "abl-distmb", "abl-obs"}
+}
 
 // CheckRegression compares cur against base and returns one human-readable
 // failure per violated budget (empty = pass). A metric regresses when

@@ -45,12 +45,25 @@ const (
 // calls on one (caller, responder) pair.
 const reqRepIDMask = 1<<30 - 1
 
+// reqRepTraceFlag marks a traced request frame in the id word's top bit
+// (bits 30–31 are outside the id mask, so the flag never collides with an
+// id). A traced frame carries two extra header words — the 64-bit trace
+// ID split lo/hi — between the id word and the request body, which is how
+// a request's trace identity crosses the fabric on halo fetches. Untraced
+// frames are byte-identical to the pre-extension protocol.
+const reqRepTraceFlag = 1 << 31
+
 // ReqRepHandler answers one request. It runs on the responder's goroutines
 // (one per in-flight request) and must be safe for concurrent use. The
 // returned slice is serialized before the call returns on TCP and enqueued
 // as-is in-process, so handlers should return freshly built or immutable
 // buffers.
 type ReqRepHandler func(from int, req []float32) ([]float32, error)
+
+// ReqRepTracedHandler additionally receives the caller's trace ID (0 for
+// untraced requests) so responders can attribute served work to the
+// originating request across ranks.
+type ReqRepTracedHandler func(from int, trace uint64, req []float32) ([]float32, error)
 
 // ReqRep is the request/reply endpoint for one rank: it answers peers'
 // requests through the handler and issues its own via Call.
@@ -65,7 +78,7 @@ type ReqRepHandler func(from int, req []float32) ([]float32, error)
 type ReqRep struct {
 	tr      Transport
 	rank    int
-	handler ReqRepHandler
+	handler ReqRepTracedHandler
 	seq     atomic.Int64
 	closed  atomic.Bool
 
@@ -85,6 +98,14 @@ const drainPollInterval = 2 * time.Millisecond
 // explicitly because the in-process transport hosts all ranks (Self() ==
 // AllRanks).
 func NewReqRep(tr Transport, rank int, handler ReqRepHandler) (*ReqRep, error) {
+	return NewReqRepTraced(tr, rank, func(from int, _ uint64, req []float32) ([]float32, error) {
+		return handler(from, req)
+	})
+}
+
+// NewReqRepTraced is NewReqRep for handlers that consume the trace ID
+// traced calls carry.
+func NewReqRepTraced(tr Transport, rank int, handler ReqRepTracedHandler) (*ReqRep, error) {
 	if rank < 0 || rank >= tr.Size() {
 		return nil, fmt.Errorf("comm: reqrep rank %d outside world of %d", rank, tr.Size())
 	}
@@ -104,6 +125,12 @@ func NewReqRep(tr Transport, rank int, handler ReqRepHandler) (*ReqRep, error) {
 // deadline / failure). The returned slice is the reply payload, owned by
 // the caller.
 func (r *ReqRep) Call(peer int, req []float32) ([]float32, error) {
+	return r.CallTraced(peer, 0, req)
+}
+
+// CallTraced is Call with a trace ID riding the request frame (see
+// reqRepTraceFlag). trace == 0 sends the untraced frame.
+func (r *ReqRep) CallTraced(peer int, trace uint64, req []float32) ([]float32, error) {
 	if peer == r.rank {
 		return nil, fmt.Errorf("comm: reqrep rank %d cannot call itself", r.rank)
 	}
@@ -114,8 +141,19 @@ func (r *ReqRep) Call(peer int, req []float32) ([]float32, error) {
 		return nil, fmt.Errorf("comm: reqrep closed: %w", ErrClosed)
 	}
 	id := uint32(r.seq.Add(1)) & reqRepIDMask
-	payload := make([]float32, 0, 1+len(req))
-	payload = append(payload, math.Float32frombits(id))
+	head := 1
+	if trace != 0 {
+		head = 3
+	}
+	payload := make([]float32, 0, head+len(req))
+	if trace != 0 {
+		payload = append(payload,
+			math.Float32frombits(id|reqRepTraceFlag),
+			math.Float32frombits(uint32(trace)),
+			math.Float32frombits(uint32(trace>>32)))
+	} else {
+		payload = append(payload, math.Float32frombits(id))
+	}
 	payload = append(payload, req...)
 	if err := r.tr.Send(r.rank, peer, &Envelope{Tag: ServeTagBase, F32: payload}); err != nil {
 		return nil, err
@@ -208,8 +246,18 @@ func (r *ReqRep) handleOne(peer int, req []float32) {
 	if len(req) < 1 {
 		return // not a framed request; nothing to reply to
 	}
-	id := math.Float32bits(req[0]) & reqRepIDMask
-	body, err := r.handler(peer, req[1:])
+	idWord := math.Float32bits(req[0])
+	id := idWord & reqRepIDMask
+	var trace uint64
+	body0 := 1
+	if idWord&reqRepTraceFlag != 0 {
+		if len(req) < 3 {
+			return // traced frame missing its trace words; nothing to reply to
+		}
+		trace = uint64(math.Float32bits(req[1])) | uint64(math.Float32bits(req[2]))<<32
+		body0 = 3
+	}
+	body, err := r.handler(peer, trace, req[body0:])
 	var reply []float32
 	if err != nil {
 		reply = encodeErrorReply(err)

@@ -81,7 +81,12 @@ type TCPTransport struct {
 
 	closed    atomic.Bool
 	closeOnce sync.Once
+
+	net netCounters
 }
+
+// NetStats snapshots this endpoint's traffic counters.
+func (t *TCPTransport) NetStats() TransportStats { return t.net.stats() }
 
 // NewTCPTransport binds this rank's listener and returns the endpoint.
 // No peer traffic happens until Establish.
@@ -328,8 +333,9 @@ func (t *TCPTransport) readLoop(src int, p *tcpPeer) {
 		}
 		switch h.Kind {
 		case kindData:
-			t.box.push(msgKey{src: int(h.Src), dst: t.rank, tag: int(h.Tag)},
-				envelopeFromFrame(h, payload))
+			env := envelopeFromFrame(h, payload)
+			t.net.countRecv(envelopePayloadBytes(env))
+			t.box.push(msgKey{src: int(h.Src), dst: t.rank, tag: int(h.Tag)}, env)
 		case kindBarrier:
 			t.arrive <- h.Tag
 		case kindRelease:
@@ -371,6 +377,9 @@ func (t *TCPTransport) Send(from, to int, env *Envelope) error {
 		return ErrClosed
 	}
 	if to == t.rank {
+		n := envelopePayloadBytes(env)
+		t.net.countSend(env.Tag, n)
+		t.net.countRecv(n)
 		t.box.push(msgKey{src: from, dst: to, tag: env.Tag}, env)
 		return nil
 	}
@@ -396,6 +405,7 @@ func (t *TCPTransport) Send(from, to int, env *Envelope) error {
 	if err != nil {
 		return fmt.Errorf("comm: tcp rank %d send to rank %d: %w", t.rank, to, err)
 	}
+	t.net.countSend(env.Tag, envelopePayloadBytes(env))
 	return nil
 }
 

@@ -201,6 +201,7 @@ func (mb *mailbox) waitErr(key msgKey) error {
 type procTransport struct {
 	n   int
 	box mailbox
+	net netCounters
 
 	barMu   sync.Mutex
 	barCond *sync.Cond
@@ -225,13 +226,22 @@ func (t *procTransport) Size() int { return t.n }
 func (t *procTransport) Self() int { return AllRanks }
 
 func (t *procTransport) Send(from, to int, env *Envelope) error {
+	t.net.countSend(env.Tag, envelopePayloadBytes(env))
 	t.box.push(msgKey{src: from, dst: to, tag: env.Tag}, env)
 	return nil
 }
 
 func (t *procTransport) Recv(to, from, tag int) (*Envelope, error) {
-	return t.box.recv(msgKey{src: from, dst: to, tag: tag}, 0)
+	env, err := t.box.recv(msgKey{src: from, dst: to, tag: tag}, 0)
+	if err == nil {
+		t.net.countRecv(envelopePayloadBytes(env))
+	}
+	return env, err
 }
+
+// NetStats snapshots the fabric's traffic counters (whole-world totals on
+// the in-process transport — every rank shares the one endpoint).
+func (t *procTransport) NetStats() TransportStats { return t.net.stats() }
 
 func (t *procTransport) Poll(to, from, tag int) (*Envelope, bool, error) {
 	return t.box.poll(msgKey{src: from, dst: to, tag: tag})

@@ -3,8 +3,11 @@ package featstore
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"distgnn/internal/comm"
+	"distgnn/internal/obs"
+	"distgnn/internal/parallel"
 	"distgnn/internal/tensor"
 )
 
@@ -31,13 +34,16 @@ type Sharded struct {
 	featDim      int
 	rr           *comm.ReqRep
 	remote       *Cache[int32, []float32]
+	tracer       *obs.Tracer // nil disables peer-served trace records
 
 	haloHits     atomic.Int64
 	haloMisses   atomic.Int64
 	haloFetches  atomic.Int64
 	haloVertices atomic.Int64
+	haloBytes    atomic.Int64
 	served       atomic.Int64
 	servedVerts  atomic.Int64
+	servedBytes  atomic.Int64
 }
 
 // ShardedConfig configures one rank's slice of a sharded feature store.
@@ -60,6 +66,10 @@ type ShardedConfig struct {
 	// CacheBytes budgets the per-rank LRU of halo features fetched from
 	// peers; ≤ 0 disables caching (every halo position fetches).
 	CacheBytes int64
+	// Tracer, when set, records a "halo" trace entry for every traced
+	// fetch this rank answers, under the requester's trace ID — the
+	// cross-rank half of end-to-end request attribution. Optional.
+	Tracer *obs.Tracer
 }
 
 // ShardedStats is a snapshot of one sharded store's counters.
@@ -74,10 +84,13 @@ type ShardedStats struct {
 	HaloMisses          int64
 	HaloFetches         int64
 	HaloFetchedVertices int64
+	// HaloFetchedBytes is the reply payload volume those RPCs carried in.
+	HaloFetchedBytes int64
 	// PeerServedFetches/PeerServedVertices count the fetch RPCs this rank
-	// answered for its peers.
+	// answered for its peers; PeerServedBytes the reply payload volume out.
 	PeerServedFetches  int64
 	PeerServedVertices int64
+	PeerServedBytes    int64
 	// RemoteCache snapshots the halo LRU.
 	RemoteCache CacheStats
 }
@@ -119,6 +132,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		featDim: cfg.Features.Cols,
 		slabRow: make([]int32, cfg.Features.Rows),
 		remote:  NewCache[int32, []float32](cfg.CacheBytes, 0),
+		tracer:  cfg.Tracer,
 	}
 
 	// Materialize this rank's feature slice. Everything after this copy
@@ -146,7 +160,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	}
 
 	var err error
-	st.rr, err = comm.NewReqRep(cfg.Transport, cfg.Rank, st.handleFetch)
+	st.rr, err = comm.NewReqRepTraced(cfg.Transport, cfg.Rank, st.handleFetch)
 	if err != nil {
 		return nil, err
 	}
@@ -181,16 +195,21 @@ func (st *Sharded) Stats() ShardedStats {
 		HaloMisses:          st.haloMisses.Load(),
 		HaloFetches:         st.haloFetches.Load(),
 		HaloFetchedVertices: st.haloVertices.Load(),
+		HaloFetchedBytes:    st.haloBytes.Load(),
 		PeerServedFetches:   st.served.Load(),
 		PeerServedVertices:  st.servedVerts.Load(),
+		PeerServedBytes:     st.servedBytes.Load(),
 		RemoteCache:         st.remote.Stats(),
 	}
 }
 
 // handleFetch answers a peer's halo feature fetch: the request is vertex
 // IDs (bit-packed int32s), the reply their owned feature rows concatenated
-// in request order.
-func (st *Sharded) handleFetch(from int, req []float32) ([]float32, error) {
+// in request order. A nonzero trace ID (the requester's) produces a "halo"
+// trace record on this rank's tracer, so a tail request's halo hops show up
+// in the owner rank's ring under the same ID the frontend minted.
+func (st *Sharded) handleFetch(from int, trace uint64, req []float32) ([]float32, error) {
+	start := time.Now()
 	ids := comm.F32ToInt32s(req)
 	out := make([]float32, 0, len(ids)*st.featDim)
 	for _, v := range ids {
@@ -202,6 +221,23 @@ func (st *Sharded) handleFetch(from int, req []float32) ([]float32, error) {
 	}
 	st.served.Add(1)
 	st.servedVerts.Add(int64(len(ids)))
+	st.servedBytes.Add(int64(4 * len(out)))
+	if trace != 0 && st.tracer.Enabled() {
+		d := time.Since(start)
+		st.tracer.Record(obs.Trace{
+			TraceID:  obs.FormatTraceID(trace),
+			Endpoint: "halo_fetch",
+			Vertex:   -1,
+			Peer:     from,
+			Status:   200,
+			StartNs:  start.UnixNano(),
+			DurUs:    d.Microseconds(),
+			Spans: []obs.Span{{
+				Name:  fmt.Sprintf("serve_fetch_%dv", len(ids)),
+				DurUs: d.Microseconds(),
+			}},
+		})
+	}
 	return out, nil
 }
 
@@ -217,6 +253,15 @@ func (st *Sharded) Gather(frontier []int32) (*tensor.Matrix, error) {
 // it. Halo positions are served from the remote cache or batched into one
 // fetch per owner rank, fanned out concurrently.
 func (st *Sharded) GatherSplit(frontier []int32, split [][]int32) (*tensor.Matrix, error) {
+	return st.GatherSplitTraced(frontier, split, nil)
+}
+
+// GatherSplitTraced is GatherSplit with request tracing: a non-nil tc gets
+// one halo_rtt_rank<p> span per peer fetch, and tc's trace ID rides the
+// fetch frames so owner ranks attribute the served work to the same
+// request. The gathered bits are identical either way — tracing only
+// observes.
+func (st *Sharded) GatherSplitTraced(frontier []int32, split [][]int32, tc *obs.TraceCtx) (*tensor.Matrix, error) {
 	x := tensor.New(len(frontier), st.featDim)
 
 	for _, i := range split[st.rank] {
@@ -255,9 +300,33 @@ func (st *Sharded) GatherSplit(frontier []int32, split [][]int32) (*tensor.Matri
 	if len(peers) == 0 {
 		return x, nil
 	}
-	replies, err := st.rr.CallAll(peers, reqs)
-	if err != nil {
-		return nil, fmt.Errorf("featstore: halo fetch: %w", err)
+	var replies [][]float32
+	if tc == nil {
+		var err error
+		replies, err = st.rr.CallAll(peers, reqs)
+		if err != nil {
+			return nil, fmt.Errorf("featstore: halo fetch: %w", err)
+		}
+	} else {
+		// Traced fan-out: same concurrency shape as CallAll, plus a per-peer
+		// RTT span and the trace ID on the wire.
+		replies = make([][]float32, len(peers))
+		errs := make([]error, len(peers))
+		var g parallel.Group
+		for k := range peers {
+			k := k
+			g.Go(func() {
+				done := tc.StartSpan(fmt.Sprintf("halo_rtt_rank%d", peers[k]))
+				replies[k], errs[k] = st.rr.CallTraced(peers[k], tc.ID(), reqs[k])
+				done()
+			})
+		}
+		g.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("featstore: halo fetch: %w", err)
+			}
+		}
 	}
 	for k, rep := range replies {
 		pos := missPos[k]
@@ -272,6 +341,7 @@ func (st *Sharded) GatherSplit(frontier []int32, split [][]int32) (*tensor.Matri
 		}
 		st.haloFetches.Add(1)
 		st.haloVertices.Add(int64(len(pos)))
+		st.haloBytes.Add(int64(4 * len(rep)))
 	}
 	return x, nil
 }

@@ -28,6 +28,11 @@ type DistEpochStat struct {
 	Time        time.Duration
 	SampledWork int64 // summed across ranks
 	Steps       int   // synchronized optimizer steps
+	// AllReduce is the wall time spent inside the per-step gradient
+	// AllReduce this epoch: the max across ranks for the in-process
+	// trainer, this rank's own time on a TCP endpoint. Pure timing —
+	// recording it never changes a reduction's float order.
+	AllReduce time.Duration
 }
 
 // DistResult is the outcome of a distributed mini-batch run.
@@ -120,10 +125,11 @@ func TrainDistributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error)
 	res := &DistResult{}
 	lossParts := make([]float64, cfg.NumRanks)
 	workParts := make([]int64, cfg.NumRanks)
+	arParts := make([]time.Duration, cfg.NumRanks)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		start := time.Now()
 		for i := range lossParts {
-			lossParts[i], workParts[i] = 0, 0
+			lossParts[i], workParts[i], arParts[i] = 0, 0, 0
 		}
 		world.Run(func(rID int) {
 			r := ranks[rID]
@@ -168,7 +174,9 @@ func TrainDistributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error)
 					p.Grad.Scale(scale)
 				}
 				gbuf := nn.FlattenParams(params, true)
+				arStart := time.Now()
 				world.AllReduceSum(rID, gbuf)
+				arParts[rID] += time.Since(arStart)
 				nn.UnflattenParams(params, gbuf, true)
 				r.opt.Step(params)
 			}
@@ -178,6 +186,9 @@ func TrainDistributed(ds *datasets.Dataset, cfg DistConfig) (*DistResult, error)
 		for rID := range ranks {
 			lsum += lossParts[rID]
 			st.SampledWork += workParts[rID]
+			if arParts[rID] > st.AllReduce {
+				st.AllReduce = arParts[rID]
+			}
 		}
 		if len(ds.TrainIdx) > 0 {
 			st.Loss = lsum / float64(len(ds.TrainIdx))

@@ -223,6 +223,7 @@ func trainShardedRank(ds *datasets.Dataset, cfg ShardedTrainConfig, world *comm.
 
 		var localLoss float64
 		var localWork int64
+		var arTime time.Duration
 		step := 0
 		for bw := range batches {
 			if bw.err != nil {
@@ -253,7 +254,9 @@ func trainShardedRank(ds *datasets.Dataset, cfg ShardedTrainConfig, world *comm.
 				p.Grad.Scale(scale)
 			}
 			gbuf := nn.FlattenParams(params, true)
+			arStart := time.Now()
 			world.AllReduceSum(rank, gbuf)
+			arTime += time.Since(arStart)
 			nn.UnflattenParams(params, gbuf, true)
 			opt.Step(params)
 			step++
@@ -263,7 +266,7 @@ func trainShardedRank(ds *datasets.Dataset, cfg ShardedTrainConfig, world *comm.
 		// fold them in rank order — the same float64 summation order
 		// TrainDistributed uses, so the reported loss matches bit for bit.
 		parts := world.AllGather(rank, packLossWork(localLoss, localWork))
-		st := DistEpochStat{Time: time.Since(start), Steps: maxBatches}
+		st := DistEpochStat{Time: time.Since(start), Steps: maxBatches, AllReduce: arTime}
 		var lsum float64
 		for r := 0; r < cfg.NumRanks; r++ {
 			loss, work := unpackLossWork(parts[4*r : 4*r+4])

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the identity block /healthz serves so fleet debugging can
+// tell replicas (and builds) apart.
+type BuildInfo struct {
+	Module        string `json:"module"`
+	ModuleVersion string `json:"module_version"`
+	GoVersion     string `json:"go_version"`
+}
+
+// ReadBuildInfo resolves the running binary's module identity via
+// runtime/debug. Test binaries and devel builds report "(devel)".
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Module: "distgnn", ModuleVersion: "(devel)", GoVersion: runtime.Version()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Path != "" {
+			bi.Module = info.Main.Path
+		}
+		if info.Main.Version != "" {
+			bi.ModuleVersion = info.Main.Version
+		}
+	}
+	return bi
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distgnn/internal/obs"
 	"distgnn/internal/tensor"
 )
 
@@ -29,7 +30,7 @@ import (
 // 429 + Retry-After so a saturated replica degrades loudly instead of
 // queueing without bound.
 type Coalescer struct {
-	infer      func([]int32) (*tensor.Matrix, error)
+	infer      func([]int32, *obs.TraceCtx) (*tensor.Matrix, error)
 	maxBatch   int
 	maxWait    time.Duration
 	maxPending int64 // ≤ 0: unbounded
@@ -63,6 +64,10 @@ var ErrSaturated = errors.New("serve: coalescer saturated, retry later")
 type pendingReq struct {
 	vertex int32
 	done   chan inferResult
+	// tc is the submitter's trace context (nil untraced); enq the admission
+	// time the queue_wait span is measured from.
+	tc  *obs.TraceCtx
+	enq time.Time
 }
 
 type inferResult struct {
@@ -91,7 +96,7 @@ type CoalescerStats struct {
 // batch-of-1 reference arm of the serving benchmark). maxWait ≤ 0 defaults
 // to 2ms. maxPending > 0 bounds the admitted-request depth (ErrSaturated
 // beyond it); ≤ 0 admits everything.
-func NewCoalescer(infer func([]int32) (*tensor.Matrix, error), maxBatch int, maxWait time.Duration, maxPending int) *Coalescer {
+func NewCoalescer(infer func([]int32, *obs.TraceCtx) (*tensor.Matrix, error), maxBatch int, maxWait time.Duration, maxPending int) *Coalescer {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -115,6 +120,13 @@ func NewCoalescer(infer func([]int32) (*tensor.Matrix, error), maxBatch int, max
 // private copy) is ready, the context is canceled, the admission bound
 // rejects it (ErrSaturated), or the coalescer closes (ErrCoalescerClosed).
 func (c *Coalescer) Submit(ctx context.Context, vertex int32) ([]float32, error) {
+	return c.SubmitTraced(ctx, vertex, nil)
+}
+
+// SubmitTraced is Submit with request tracing: a non-nil tc receives a
+// queue_wait span (admission → batch start) plus the batch's inference-stage
+// spans, re-based onto the request's clock. The result bits are identical.
+func (c *Coalescer) SubmitTraced(ctx context.Context, vertex int32, tc *obs.TraceCtx) ([]float32, error) {
 	if n := c.pending.Add(1); c.maxPending > 0 && n > c.maxPending {
 		c.pending.Add(-1)
 		c.shed.Add(1)
@@ -122,7 +134,10 @@ func (c *Coalescer) Submit(ctx context.Context, vertex int32) ([]float32, error)
 	}
 	defer c.pending.Add(-1)
 
-	p := &pendingReq{vertex: vertex, done: make(chan inferResult, 1)}
+	p := &pendingReq{vertex: vertex, done: make(chan inferResult, 1), tc: tc}
+	if tc != nil {
+		p.enq = time.Now()
+	}
 	c.enqueuing.Add(1)
 	select {
 	case c.reqs <- p:
@@ -256,12 +271,33 @@ func (c *Coalescer) run(batch []*pendingReq) {
 		}
 	}
 
-	out, err := c.infer(order)
+	// One batch-level trace context when any member is traced; its spans are
+	// merged into every traced member after the shared inference, re-based
+	// onto that member's clock. The batch adopts the first traced member's
+	// ID, so downstream halo fetches attribute to that representative
+	// request (exact for batch-of-1, the tail-request case).
+	var bt *obs.TraceCtx
+	for _, p := range batch {
+		if p.tc == nil {
+			continue
+		}
+		if bt == nil || (bt.ID() == 0 && p.tc.ID() != 0) {
+			bt = obs.NewTraceCtx(p.tc.ID())
+		}
+		if bt.ID() != 0 {
+			break
+		}
+	}
+	out, err := c.infer(order, bt)
 	if err != nil {
 		c.fail(batch, err)
 		return
 	}
 	for _, p := range batch {
+		if p.tc != nil {
+			p.tc.AddSpanAt("queue_wait", p.enq, bt.Start().Sub(p.enq))
+			p.tc.Merge(bt)
+		}
 		row := append([]float32(nil), out.Row(slot[p.vertex])...)
 		p.done <- inferResult{row: row}
 	}

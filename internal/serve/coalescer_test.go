@@ -8,13 +8,14 @@ import (
 	"testing"
 	"time"
 
+	"distgnn/internal/obs"
 	"distgnn/internal/tensor"
 )
 
 // echoInfer returns a 1-col matrix whose row i holds float32(vertex_i), so
 // routing bugs (wrong row to wrong waiter) are visible.
-func echoInfer(calls *atomic.Int64, seen *atomic.Int64) func([]int32) (*tensor.Matrix, error) {
-	return func(vs []int32) (*tensor.Matrix, error) {
+func echoInfer(calls *atomic.Int64, seen *atomic.Int64) func([]int32, *obs.TraceCtx) (*tensor.Matrix, error) {
+	return func(vs []int32, _ *obs.TraceCtx) (*tensor.Matrix, error) {
 		calls.Add(1)
 		seen.Add(int64(len(vs)))
 		out := tensor.New(len(vs), 1)
@@ -27,9 +28,9 @@ func echoInfer(calls *atomic.Int64, seen *atomic.Int64) func([]int32) (*tensor.M
 
 func TestCoalescerMergesConcurrentRequests(t *testing.T) {
 	var calls, seen atomic.Int64
-	slow := func(vs []int32) (*tensor.Matrix, error) {
+	slow := func(vs []int32, tc *obs.TraceCtx) (*tensor.Matrix, error) {
 		time.Sleep(time.Millisecond) // let the window fill
-		return echoInfer(&calls, &seen)(vs)
+		return echoInfer(&calls, &seen)(vs, tc)
 	}
 	c := NewCoalescer(slow, 16, 50*time.Millisecond, 0)
 	defer c.Close()
@@ -113,7 +114,7 @@ func TestCoalescerTimerFlushesPartialBatch(t *testing.T) {
 
 func TestCoalescerPropagatesInferenceError(t *testing.T) {
 	boom := fmt.Errorf("boom")
-	c := NewCoalescer(func([]int32) (*tensor.Matrix, error) { return nil, boom }, 4, time.Millisecond, 0)
+	c := NewCoalescer(func([]int32, *obs.TraceCtx) (*tensor.Matrix, error) { return nil, boom }, 4, time.Millisecond, 0)
 	defer c.Close()
 	if _, err := c.Submit(context.Background(), 1); err == nil {
 		t.Fatal("error swallowed")
@@ -122,7 +123,7 @@ func TestCoalescerPropagatesInferenceError(t *testing.T) {
 
 func TestCoalescerContextCancel(t *testing.T) {
 	block := make(chan struct{})
-	c := NewCoalescer(func(vs []int32) (*tensor.Matrix, error) {
+	c := NewCoalescer(func(vs []int32, _ *obs.TraceCtx) (*tensor.Matrix, error) {
 		<-block
 		return tensor.New(len(vs), 1), nil
 	}, 1, time.Millisecond, 0)
@@ -197,7 +198,7 @@ func TestCoalescerCloseNeverStrandsSubmit(t *testing.T) {
 // fail fast with ErrSaturated and are counted as shed.
 func TestCoalescerAdmissionControlSheds(t *testing.T) {
 	release := make(chan struct{})
-	c := NewCoalescer(func(vs []int32) (*tensor.Matrix, error) {
+	c := NewCoalescer(func(vs []int32, _ *obs.TraceCtx) (*tensor.Matrix, error) {
 		<-release
 		out := tensor.New(len(vs), 1)
 		for i, v := range vs {

@@ -26,6 +26,7 @@ import (
 	"distgnn/internal/featstore"
 	"distgnn/internal/minibatch"
 	"distgnn/internal/nn"
+	"distgnn/internal/obs"
 	"distgnn/internal/quant"
 	"distgnn/internal/spmm"
 	"distgnn/internal/tensor"
@@ -116,9 +117,10 @@ type featureSource interface {
 // exactSampler lets a featureSource own exact-mode block extraction when it
 // can exploit partition structure: shardFeatures uses the partition-aware
 // minibatch.FullSampleOwned, so the input frontier arrives already split by
-// owner and the split is computed exactly once per request.
+// owner and the split is computed exactly once per request. tc (nil when
+// untraced) receives the stage spans the source can attribute.
 type exactSampler interface {
-	sampleExact(seeds []int32, hops int) (*minibatch.Sample, *tensor.Matrix, error)
+	sampleExact(seeds []int32, hops int, tc *obs.TraceCtx) (*minibatch.Sample, *tensor.Matrix, error)
 }
 
 // Engine runs forward-only inference over k-hop blocks. It is safe for
@@ -298,6 +300,14 @@ func (e *Engine) Stats() EngineStats {
 // final-layer output matrix, one row per seed in input order. Duplicate
 // seeds are allowed (each gets its own row).
 func (e *Engine) Infer(seeds []int32) (*tensor.Matrix, error) {
+	return e.InferTraced(seeds, nil)
+}
+
+// InferTraced is Infer with per-stage observability: a non-nil tc gets
+// sample/gather/forward spans (plus per-peer halo RTT spans in shard mode),
+// and its trace ID rides the halo fetch frames. Tracing only observes — the
+// returned bits are identical to Infer's.
+func (e *Engine) InferTraced(seeds []int32, tc *obs.TraceCtx) (*tensor.Matrix, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("serve: empty seed set")
 	}
@@ -311,28 +321,41 @@ func (e *Engine) Infer(seeds []int32) (*tensor.Matrix, error) {
 	var err error
 	switch {
 	case e.sampler != nil:
+		stop := tc.StartSpan("sample")
 		e.samplerMu.Lock()
 		s = e.sampler.Sample(seeds)
 		e.samplerMu.Unlock()
+		stop()
+		stop = tc.StartSpan("gather")
 		x, err = e.src.Gather(s.InputFrontier())
+		stop()
 	case e.fusedExact():
 		// GraphSAGE exact mode over the resident store with no feature
 		// cache: skip the gather entirely — the fused kernel streams
 		// frontier rows straight from e.feats (fp32 bit-identical to the
 		// gathered path, bf16 decoded on load).
+		stop := tc.StartSpan("sample")
 		s = minibatch.FullSample(e.ds.G, seeds, e.spec.NumLayers)
+		stop()
 		frontier := s.InputFrontier()
 		e.inferences.Add(1)
 		e.seedVertices.Add(int64(len(seeds)))
 		e.frontierIn.Add(int64(len(frontier)))
-		return e.forwardSageFused(s, frontier), nil
+		stop = tc.StartSpan("forward")
+		out := e.forwardSageFused(s, frontier)
+		stop()
+		return out, nil
 	default:
 		if es, ok := e.src.(exactSampler); ok {
-			s, x, err = es.sampleExact(seeds, e.spec.NumLayers)
+			s, x, err = es.sampleExact(seeds, e.spec.NumLayers, tc)
 			break
 		}
+		stop := tc.StartSpan("sample")
 		s = minibatch.FullSample(e.ds.G, seeds, e.spec.NumLayers)
+		stop()
+		stop = tc.StartSpan("gather")
 		x, err = e.src.Gather(s.InputFrontier())
+		stop()
 	}
 	if err != nil {
 		return nil, err
@@ -342,10 +365,15 @@ func (e *Engine) Infer(seeds []int32) (*tensor.Matrix, error) {
 	e.seedVertices.Add(int64(len(seeds)))
 	e.frontierIn.Add(int64(x.Rows))
 
+	stop := tc.StartSpan("forward")
+	var out *tensor.Matrix
 	if e.spec.Arch == ArchGAT {
-		return e.forwardGAT(s, x), nil
+		out = e.forwardGAT(s, x)
+	} else {
+		out = e.forwardSage(s, x)
 	}
-	return e.forwardSage(s, x), nil
+	stop()
+	return out, nil
 }
 
 // fusedExact reports whether this request shape can take the fused

@@ -12,9 +12,12 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"distgnn/internal/obs"
 )
 
 // frontend.go is the replicated-serving entry point: a consistent-hash
@@ -66,6 +69,13 @@ type FrontendConfig struct {
 	// Seed seeds the power-of-two-choices randomness (default 1);
 	// deterministic so test runs are reproducible.
 	Seed int64
+	// Metrics, when set, registers the frontend metrics on the registry and
+	// enables GET /metrics. Nil runs metrics-free.
+	Metrics *obs.Registry
+	// Tracer, when set, mints a trace ID per proxied request (propagated to
+	// backends via the trace header) and enables GET /debug/trace/recent
+	// plus the slow-request log. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (cfg *FrontendConfig) applyDefaults() {
@@ -175,6 +185,10 @@ type Frontend struct {
 	shed     atomic.Int64
 	errors   atomic.Int64
 	reloads  atomic.Int64
+	trips    atomic.Int64 // healthy→unhealthy breaker transitions
+
+	reqDur *obs.Histogram // nil when metrics are off
+	tracer *obs.Tracer    // nil-safe: nil disables tracing
 }
 
 // NewFrontend validates the group topology and starts the health prober.
@@ -215,17 +229,53 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		f.groups = append(f.groups, rg)
 	}
 	f.ring = newHashRing(keys, cfg.VNodes)
+	f.tracer = cfg.Tracer
 	f.mux.HandleFunc("/predict", f.handleProxy)
 	f.mux.HandleFunc("/embed", f.handleProxy)
 	f.mux.HandleFunc("/reload", f.handleReload)
 	f.mux.HandleFunc("/stats", f.handleStats)
-	f.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprintln(w, "ok")
-	})
+	f.mux.HandleFunc("/healthz", f.handleHealthz)
+	// Both handlers are nil-safe: with the plane off they serve 404.
+	f.mux.HandleFunc("/metrics", cfg.Metrics.Handler())
+	f.mux.HandleFunc("/debug/trace/recent", cfg.Tracer.Handler())
+	if cfg.Metrics != nil {
+		f.registerMetrics(cfg.Metrics)
+	}
 	f.proberW.Add(1)
 	go f.probe()
 	return f, nil
+}
+
+// handleHealthz answers the liveness probe with build info and topology.
+func (f *Frontend) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	bi := obs.ReadBuildInfo()
+	writeJSON(w, Healthz{
+		Status: "ok", Role: "frontend",
+		Module: bi.Module, ModuleVersion: bi.ModuleVersion, GoVersion: bi.GoVersion,
+		Rank: -1, Shards: 0, Groups: len(f.groups),
+	})
+}
+
+// registerMetrics wires the frontend counters into the registry as
+// scrape-time funcs plus the one request-duration histogram.
+func (f *Frontend) registerMetrics(reg *obs.Registry) {
+	f.reqDur = reg.Histogram("distgnn_frontend_request_duration_seconds",
+		"End-to-end proxied request latency at the frontend.")
+	counterFn(reg, "distgnn_frontend_requests_total",
+		"Requests accepted by the frontend.", f.requests.Load)
+	counterFn(reg, "distgnn_frontend_retries_total",
+		"Failover attempts beyond the first replica.", f.retries.Load)
+	counterFn(reg, "distgnn_frontend_shed_total",
+		"Requests shed because every replica was saturated.", f.shed.Load)
+	counterFn(reg, "distgnn_frontend_errors_total",
+		"Requests no replica could serve.", f.errors.Load)
+	counterFn(reg, "distgnn_frontend_reloads_total",
+		"Fleet-wide checkpoint reloads applied.", f.reloads.Load)
+	counterFn(reg, "distgnn_frontend_breaker_trips_total",
+		"Replica healthy-to-unhealthy breaker transitions.", f.trips.Load)
 }
 
 func normalizeAddr(addr string) string {
@@ -300,11 +350,14 @@ func (f *Frontend) markOK(r *replica) {
 }
 
 // markFail records a failed exchange; crossing MaxFails consecutive
-// failures marks the replica unhealthy until the prober restores it.
+// failures marks the replica unhealthy until the prober restores it. Only
+// the healthy→unhealthy transition counts as a breaker trip.
 func (f *Frontend) markFail(r *replica) {
 	r.fails.Add(1)
 	if r.consecFails.Add(1) >= int64(f.cfg.MaxFails) {
-		r.healthy.Store(false)
+		if r.healthy.CompareAndSwap(true, false) {
+			f.trips.Add(1)
+		}
 	}
 }
 
@@ -313,6 +366,9 @@ func (f *Frontend) markFail(r *replica) {
 // backend response is fully buffered before any byte reaches the client,
 // so a replica dying mid-response is retried instead of truncating.
 func (f *Frontend) handleProxy(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	f.requests.Add(1)
 	raw := r.URL.Query().Get("vertex")
 	if raw == "" {
@@ -326,6 +382,11 @@ func (f *Frontend) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 	g := f.groups[f.ring.lookup(int32(v64))]
 
+	// The frontend is the fleet entry point: mint the trace ID here (or
+	// adopt one the client sent) so every hop downstream — replica, owner
+	// rank, halo peers — attributes its spans to the same request.
+	tc := f.traceCtx(r)
+
 	var lastErr error
 	sawShed := false
 	for attempt, idx := range f.pickOrder(g) {
@@ -333,7 +394,9 @@ func (f *Frontend) handleProxy(w http.ResponseWriter, r *http.Request) {
 			f.retries.Add(1)
 		}
 		rep := g.replicas[idx]
-		status, header, body, err := f.tryReplica(rep, r)
+		stop := tc.StartSpan(fmt.Sprintf("attempt%d_%s", attempt, rep.addr))
+		status, header, body, err := f.tryReplica(rep, r, tc)
+		stop()
 		if err != nil {
 			f.markFail(rep)
 			lastErr = err
@@ -355,10 +418,14 @@ func (f *Frontend) handleProxy(w http.ResponseWriter, r *http.Request) {
 		if ct := header.Get("Content-Type"); ct != "" {
 			w.Header().Set("Content-Type", ct)
 		}
+		if id := tc.ID(); id != 0 {
+			w.Header().Set(obs.TraceHeader, obs.FormatTraceID(id))
+		}
 		w.WriteHeader(status)
 		if _, err := w.Write(body); err != nil {
 			log.Printf("serve: frontend response write: %v", err)
 		}
+		f.finishRequest(tc, r, int32(v64), status)
 		return
 	}
 	if sawShed {
@@ -367,19 +434,51 @@ func (f *Frontend) handleProxy(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Errorf("all replicas of group %s saturated: %v", g.key, lastErr))
+		f.finishRequest(tc, r, int32(v64), http.StatusTooManyRequests)
 		return
 	}
 	f.errors.Add(1)
 	httpError(w, http.StatusBadGateway,
 		fmt.Errorf("no replica of group %s could serve the request: %v", g.key, lastErr))
+	f.finishRequest(tc, r, int32(v64), http.StatusBadGateway)
 }
 
-// tryReplica performs one fully-buffered exchange with a backend.
-func (f *Frontend) tryReplica(rep *replica, r *http.Request) (int, http.Header, []byte, error) {
+// traceCtx opens the frontend's per-request trace context (nil when the
+// obs plane is fully off).
+func (f *Frontend) traceCtx(r *http.Request) *obs.TraceCtx {
+	if f.reqDur == nil && !f.tracer.Enabled() {
+		return nil
+	}
+	var id uint64
+	if f.tracer.Enabled() {
+		if hid, ok := obs.ParseTraceID(r.Header.Get(obs.TraceHeader)); ok {
+			id = hid
+		} else {
+			id = obs.NewTraceID()
+		}
+	}
+	return obs.NewTraceCtx(id)
+}
+
+// finishRequest closes out one proxied request's observability.
+func (f *Frontend) finishRequest(tc *obs.TraceCtx, r *http.Request, vertex int32, status int) {
+	if tc == nil {
+		return
+	}
+	f.reqDur.Observe(time.Since(tc.Start()))
+	f.tracer.Finish(tc, strings.TrimPrefix(r.URL.Path, "/"), int64(vertex), status)
+}
+
+// tryReplica performs one fully-buffered exchange with a backend,
+// propagating the trace ID when one is live.
+func (f *Frontend) tryReplica(rep *replica, r *http.Request, tc *obs.TraceCtx) (int, http.Header, []byte, error) {
 	target := proxyURL(rep.addr, r)
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target, nil)
 	if err != nil {
 		return 0, nil, nil, err
+	}
+	if id := tc.ID(); id != 0 {
+		req.Header.Set(obs.TraceHeader, obs.FormatTraceID(id))
 	}
 	rep.requests.Add(1)
 	rep.inflight.Add(1)
@@ -554,6 +653,8 @@ type FrontendStats struct {
 	Shed          int64        `json:"shed"`
 	Errors        int64        `json:"errors"`
 	Reloads       int64        `json:"reloads"`
+	// BreakerTrips counts replica healthy→unhealthy transitions.
+	BreakerTrips int64 `json:"breaker_trips"`
 }
 
 // StatsSnapshot returns the same snapshot /stats serves.
@@ -565,6 +666,7 @@ func (f *Frontend) StatsSnapshot() FrontendStats {
 		Shed:          f.shed.Load(),
 		Errors:        f.errors.Load(),
 		Reloads:       f.reloads.Load(),
+		BreakerTrips:  f.trips.Load(),
 	}
 	for _, g := range f.groups {
 		gs := GroupStats{Key: g.key}
@@ -583,6 +685,9 @@ func (f *Frontend) StatsSnapshot() FrontendStats {
 	return st
 }
 
-func (f *Frontend) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (f *Frontend) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	writeJSON(w, f.StatsSnapshot())
 }

@@ -18,6 +18,7 @@ import (
 
 	"distgnn/internal/datasets"
 	"distgnn/internal/nn"
+	"distgnn/internal/obs"
 	"distgnn/internal/quant"
 	"distgnn/internal/tensor"
 )
@@ -59,6 +60,14 @@ type Config struct {
 	// FeatPrecision selects feature storage (see ModelSpec.FeatPrecision):
 	// quant.FP32 (default) or quant.BF16. Single-process serving only.
 	FeatPrecision quant.Precision
+	// Metrics, when set, registers the serving metrics on the registry and
+	// enables GET /metrics (Prometheus text exposition). Nil runs
+	// metrics-free — the obs plane's disabled-is-free contract.
+	Metrics *obs.Registry
+	// Tracer, when set, enables per-request tracing: stage spans, the
+	// recent-trace ring behind GET /debug/trace/recent, the slow-request
+	// log, and cross-rank trace-ID propagation. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // applyDefaults fills the zero-value Config fields with distgnn-train's
@@ -90,6 +99,8 @@ type Server struct {
 	start  time.Time
 	shard  *shardState // nil in single-process mode
 	proxy  http.Client
+	obsm   *serveMetrics // nil when metrics are off
+	tracer *obs.Tracer   // nil-safe: nil disables tracing
 
 	reloadMu sync.Mutex // serializes build-validate-flip sequences
 
@@ -123,11 +134,12 @@ func New(ds *datasets.Dataset, checkpoint io.Reader, cfg Config) (*Server, error
 // newServer assembles the HTTP pipeline around a ready engine.
 func newServer(eng *Engine, cfg Config) *Server {
 	s := &Server{
-		emb:   NewCache[int32, []float32](cfg.EmbedCacheBytes, 0),
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		proxy: http.Client{Timeout: 30 * time.Second},
+		emb:    NewCache[int32, []float32](cfg.EmbedCacheBytes, 0),
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		proxy:  http.Client{Timeout: 30 * time.Second},
+		tracer: cfg.Tracer,
 	}
 	s.engine.Store(eng)
 	s.co = NewCoalescer(s.inferAndCache, cfg.MaxBatch, cfg.MaxWait, cfg.MaxPending)
@@ -135,11 +147,36 @@ func newServer(eng *Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/embed", s.handleEmbed)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/reload", s.handleReload)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	// Both handlers are nil-safe: with the plane off they serve 404.
+	s.mux.HandleFunc("/metrics", cfg.Metrics.Handler())
+	s.mux.HandleFunc("/debug/trace/recent", cfg.Tracer.Handler())
+	if cfg.Metrics != nil {
+		s.obsm = newServeMetrics(cfg.Metrics)
+		s.registerMetrics(cfg.Metrics)
+	}
 	return s
+}
+
+// handleHealthz answers the liveness probe with build info and fleet
+// identity (JSON; probers only check the status code).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
+	bi := obs.ReadBuildInfo()
+	eng := s.engine.Load()
+	h := Healthz{
+		Status: "ok", Role: "server",
+		Module: bi.Module, ModuleVersion: bi.ModuleVersion, GoVersion: bi.GoVersion,
+		Rank: -1, Shards: 1,
+		Model: eng.Spec().String(), Mode: eng.Mode(),
+	}
+	if s.shard != nil {
+		h.Rank = s.shard.fs.Rank()
+		h.Shards = s.shard.fs.Shards()
+	}
+	writeJSON(w, h)
 }
 
 // Engine exposes the current inference engine (benchmarks and tests).
@@ -171,9 +208,9 @@ func (s *Server) Close() {
 // engine is loaded once: a batch in flight across a /reload finishes on
 // the engine it started with, and its rows are not published if the flip
 // (and the cache reset that follows it) happened underneath.
-func (s *Server) inferAndCache(vertices []int32) (*tensor.Matrix, error) {
+func (s *Server) inferAndCache(vertices []int32, bt *obs.TraceCtx) (*tensor.Matrix, error) {
 	eng := s.engine.Load()
-	out, err := eng.Infer(vertices)
+	out, err := eng.InferTraced(vertices, bt)
 	if err != nil {
 		return nil, err
 	}
@@ -264,11 +301,40 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 // lookup serves a vertex's final-layer output: embedding cache first, then
 // the coalesced inference path.
-func (s *Server) lookup(r *http.Request, vertex int32) ([]float32, error) {
+func (s *Server) lookup(r *http.Request, vertex int32, tc *obs.TraceCtx) ([]float32, error) {
 	if row, ok := s.emb.Get(vertex); ok {
 		return row, nil
 	}
-	return s.co.Submit(r.Context(), vertex)
+	return s.co.SubmitTraced(r.Context(), vertex, tc)
+}
+
+// traceCtx opens the per-request trace context: nil when the whole obs
+// plane is off (disabled = free), ID-less when only metrics are on (stage
+// timing without cross-rank attribution), and carrying the inbound
+// header's ID — or a freshly minted one — when tracing is enabled.
+func (s *Server) traceCtx(r *http.Request) *obs.TraceCtx {
+	if s.obsm == nil && !s.tracer.Enabled() {
+		return nil
+	}
+	var id uint64
+	if s.tracer.Enabled() {
+		if hid, ok := obs.ParseTraceID(r.Header.Get(obs.TraceHeader)); ok {
+			id = hid
+		} else {
+			id = obs.NewTraceID()
+		}
+	}
+	return obs.NewTraceCtx(id)
+}
+
+// finishRequest closes out one request's observability: stage histograms
+// and the trace record. No-op for untraced requests.
+func (s *Server) finishRequest(tc *obs.TraceCtx, endpoint string, vertex int32, status int) {
+	if tc == nil {
+		return
+	}
+	s.obsm.observe(endpoint, tc)
+	s.tracer.Finish(tc, endpoint, int64(vertex), status)
 }
 
 // PredictResponse is the /predict payload.
@@ -329,7 +395,7 @@ func (s *Server) StatsSnapshot() Stats {
 // the routed marker is always served locally — the sharded engine can
 // answer any vertex via halo fetches, so routing is a locality optimization
 // that must terminate, never a correctness requirement.
-func (s *Server) routeIfRemote(w http.ResponseWriter, r *http.Request, vertex int32) bool {
+func (s *Server) routeIfRemote(w http.ResponseWriter, r *http.Request, vertex int32, tc *obs.TraceCtx) bool {
 	if s.shard == nil {
 		return false
 	}
@@ -366,10 +432,20 @@ func (s *Server) routeIfRemote(w http.ResponseWriter, r *http.Request, vertex in
 		return true
 	}
 	req.Header.Set(routedHeader, "1")
+	// Forward the trace ID so the owner's spans land under the same trace
+	// the entry point minted (or the one the client/frontend sent).
+	if id := tc.ID(); id != 0 {
+		req.Header.Set(obs.TraceHeader, obs.FormatTraceID(id))
+	} else if tid := r.Header.Get(obs.TraceHeader); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
+	}
+	stop := tc.StartSpan("proxy_owner")
 	resp, err := s.proxy.Do(req)
+	stop()
 	if err != nil {
 		httpError(w, http.StatusBadGateway,
 			fmt.Errorf("routing vertex %d to owner rank %d at %s: %v", vertex, owner, addr, err))
+		s.finishRequest(tc, "routed", vertex, http.StatusBadGateway)
 		return true
 	}
 	defer resp.Body.Close()
@@ -377,65 +453,96 @@ func (s *Server) routeIfRemote(w http.ResponseWriter, r *http.Request, vertex in
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
+	if id := tc.ID(); id != 0 {
+		w.Header().Set(obs.TraceHeader, obs.FormatTraceID(id))
+	}
 	w.WriteHeader(resp.StatusCode)
 	if _, err := io.Copy(w, resp.Body); err != nil {
 		// The status line is already gone, so the response cannot be
 		// repaired — log instead of silently truncating.
 		log.Printf("serve: proxying vertex %d to rank %d: response copy: %v", vertex, owner, err)
 	}
+	s.finishRequest(tc, "routed", vertex, resp.StatusCode)
 	return true
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	vertex, ok := s.vertexParam(w, r)
 	if !ok {
 		return
 	}
-	if s.routeIfRemote(w, r, vertex) {
+	tc := s.traceCtx(r)
+	if s.routeIfRemote(w, r, vertex, tc) {
 		return
 	}
 	s.predicts.Add(1)
-	row, err := s.lookup(r, vertex)
+	row, err := s.lookup(r, vertex, tc)
 	if err != nil {
-		lookupError(w, err)
+		s.finishRequest(tc, "predict", vertex, lookupError(w, err))
 		return
 	}
+	if id := tc.ID(); id != 0 {
+		w.Header().Set(obs.TraceHeader, obs.FormatTraceID(id))
+	}
+	stop := tc.StartSpan("encode")
 	writeJSON(w, PredictResponse{Vertex: vertex, Class: argmax(row), Logits: row})
+	stop()
+	s.finishRequest(tc, "predict", vertex, http.StatusOK)
 }
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	vertex, ok := s.vertexParam(w, r)
 	if !ok {
 		return
 	}
-	if s.routeIfRemote(w, r, vertex) {
+	tc := s.traceCtx(r)
+	if s.routeIfRemote(w, r, vertex, tc) {
 		return
 	}
 	s.embeds.Add(1)
-	row, err := s.lookup(r, vertex)
+	row, err := s.lookup(r, vertex, tc)
 	if err != nil {
-		lookupError(w, err)
+		s.finishRequest(tc, "embed", vertex, lookupError(w, err))
 		return
 	}
+	if id := tc.ID(); id != 0 {
+		w.Header().Set(obs.TraceHeader, obs.FormatTraceID(id))
+	}
+	stop := tc.StartSpan("encode")
 	writeJSON(w, EmbedResponse{Vertex: vertex, Embedding: row})
+	stop()
+	s.finishRequest(tc, "embed", vertex, http.StatusOK)
 }
 
 // lookupError maps coalescer outcomes to HTTP semantics: saturation is the
 // load-shedding signal (429 + Retry-After so clients and the replica
 // frontend back off or fail over), shutdown is 503, anything else 500.
-func lookupError(w http.ResponseWriter, err error) {
+// It returns the status code written.
+func lookupError(w http.ResponseWriter, err error) int {
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, err)
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrCoalescerClosed):
 		httpError(w, http.StatusServiceUnavailable, err)
+		return http.StatusServiceUnavailable
 	default:
 		httpError(w, http.StatusInternalServerError, err)
+		return http.StatusInternalServerError
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	writeJSON(w, s.StatsSnapshot())
 }
 

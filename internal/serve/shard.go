@@ -11,6 +11,7 @@ import (
 	"distgnn/internal/graph"
 	"distgnn/internal/minibatch"
 	"distgnn/internal/nn"
+	"distgnn/internal/obs"
 	"distgnn/internal/partition"
 	"distgnn/internal/quant"
 	"distgnn/internal/tensor"
@@ -148,10 +149,12 @@ type ShardStats struct {
 	HaloMisses          int64 `json:"halo_misses"`
 	HaloFetches         int64 `json:"halo_fetches"`
 	HaloFetchedVertices int64 `json:"halo_fetched_vertices"`
+	HaloFetchedBytes    int64 `json:"halo_fetched_bytes"`
 	// PeerServedFetches/PeerServedVertices count the fetch RPCs this rank
-	// answered for its peers.
+	// answered for its peers; PeerServedBytes the reply payload volume out.
 	PeerServedFetches  int64      `json:"peer_served_fetches"`
 	PeerServedVertices int64      `json:"peer_served_vertices"`
+	PeerServedBytes    int64      `json:"peer_served_bytes"`
 	RemoteCache        CacheStats `json:"remote_cache"`
 }
 
@@ -165,6 +168,7 @@ type shardState struct {
 	g           *graph.CSR // replicated topology, for owned block extraction
 	fs          *featstore.Sharded
 	haloStatic  int
+	net         comm.NetStatsSource // nil when the fabric keeps no counters
 
 	routedOut atomic.Int64
 	routedIn  atomic.Int64
@@ -209,17 +213,22 @@ func newShardState(ds *datasets.Dataset, cfg Config, sc ShardConfig) (*shardStat
 		Owners:     owners,
 		Features:   ds.Features,
 		CacheBytes: cacheBytes,
+		Tracer:     cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &shardState{
+	st := &shardState{
 		partitioner: sc.Partitioner.Name(),
 		router:      router,
 		g:           ds.G,
 		fs:          fs,
 		haloStatic:  len(pt.Halo(sc.Rank)),
-	}, nil
+	}
+	if src, ok := sc.Transport.(comm.NetStatsSource); ok {
+		st.net = src
+	}
+	return st, nil
 }
 
 // stats snapshots the shard counters: the featstore plane's gather/fetch
@@ -237,8 +246,10 @@ func (st *shardState) stats() ShardStats {
 		HaloMisses:          fss.HaloMisses,
 		HaloFetches:         fss.HaloFetches,
 		HaloFetchedVertices: fss.HaloFetchedVertices,
+		HaloFetchedBytes:    fss.HaloFetchedBytes,
 		PeerServedFetches:   fss.PeerServedFetches,
 		PeerServedVertices:  fss.PeerServedVertices,
+		PeerServedBytes:     fss.PeerServedBytes,
 		RemoteCache:         fss.RemoteCache,
 	}
 }
@@ -254,11 +265,17 @@ type shardFeatures struct {
 // sampleExact is the shard engine's exact-mode block extraction: the
 // partition-aware FullSampleOwned builds the identical Sample FullSample
 // would (the bit-identity contract) and hands the input frontier over
-// pre-split by owner, so ownership is resolved once per request.
-func (sf *shardFeatures) sampleExact(seeds []int32, hops int) (*minibatch.Sample, *tensor.Matrix, error) {
+// pre-split by owner, so ownership is resolved once per request. A non-nil
+// tc gets sample/gather spans plus the per-peer halo RTT spans the traced
+// gather records.
+func (sf *shardFeatures) sampleExact(seeds []int32, hops int, tc *obs.TraceCtx) (*minibatch.Sample, *tensor.Matrix, error) {
 	fs := sf.st.fs
+	stop := tc.StartSpan("sample")
 	s, split := minibatch.FullSampleOwned(sf.st.g, seeds, hops, fs.Owners(), fs.Shards())
-	x, err := fs.GatherSplit(s.InputFrontier(), split)
+	stop()
+	stop = tc.StartSpan("gather")
+	x, err := fs.GatherSplitTraced(s.InputFrontier(), split, tc)
+	stop()
 	return s, x, err
 }
 
@@ -304,5 +321,8 @@ func NewShard(ds *datasets.Dataset, checkpoint io.Reader, cfg Config, sc ShardCo
 	}
 	s := newServer(eng, cfg)
 	s.shard = st
+	if cfg.Metrics != nil {
+		s.registerShardMetrics(cfg.Metrics)
+	}
 	return s, nil
 }

@@ -47,6 +47,7 @@ var statsGoldenKeys = []string{
 // statsGoldenShardKeys extends the golden with the shard-mode block.
 var statsGoldenShardKeys = []string{
 	"shard",
+	"shard.halo_fetched_bytes",
 	"shard.halo_fetched_vertices",
 	"shard.halo_fetches",
 	"shard.halo_hits",
@@ -54,6 +55,7 @@ var statsGoldenShardKeys = []string{
 	"shard.halo_vertices_static",
 	"shard.owned_vertices",
 	"shard.partitioner",
+	"shard.peer_served_bytes",
 	"shard.peer_served_fetches",
 	"shard.peer_served_vertices",
 	"shard.rank",
