@@ -112,6 +112,10 @@ func main() {
 		"serve the replicated frontend even with -replicas 1 (implied by -replicas >1)")
 	reloadOn := flag.Bool("reload", false,
 		"enable POST /reload checkpoint hot-swapping (reads server-side files via ?checkpoint=path)")
+	updatesOn := flag.Bool("updates", false,
+		"enable POST /update streaming edge inserts (exact mode only; in shard mode the entry rank fans each batch out to the fleet)")
+	compactThreshold := flag.Int("compact-threshold", 0,
+		"overlay edges that trigger background compaction into the base CSR (0 = default 4096, negative disables auto-compaction)")
 	metricsOn := flag.Bool("metrics", true,
 		"expose GET /metrics (Prometheus text exposition) on every HTTP endpoint")
 	traceOn := flag.Bool("trace", false,
@@ -151,6 +155,8 @@ func main() {
 		fatal(fmt.Errorf("unknown -feat-precision %q (fp32 or bf16)", *featPrec))
 	}
 	cfg.EnableReload = *reloadOn
+	cfg.EnableUpdates = *updatesOn
+	cfg.CompactThreshold = *compactThreshold
 	var err error
 	cfg.Fanouts, err = parseFanouts(*fanouts)
 	if err != nil {
@@ -162,6 +168,11 @@ func main() {
 	}
 
 	if *replicas > 1 || *frontendOn {
+		if *updatesOn {
+			// Each replica group holds independent mutation state; an update
+			// landing on one group would silently diverge the others.
+			fatal(fmt.Errorf("-updates is not supported behind the replicated frontend (drop -replicas/-frontend)"))
+		}
 		runReplicated(cfg, replicatedOpts{
 			checkpoint: *checkpoint, dataset: *dataset, scale: *scale, file: *file,
 			addr: *addr, shards: *shards, replicas: *replicas,

@@ -37,7 +37,7 @@ const DefaultTolerance = 0.15
 // GatedExperiments lists the experiment IDs -check and -update-baseline
 // cover when none are named explicitly.
 func GatedExperiments() []string {
-	return []string{"abl-kernels", "abl-serve", "abl-distmb", "abl-obs"}
+	return []string{"abl-kernels", "abl-serve", "abl-distmb", "abl-obs", "abl-stream"}
 }
 
 // CheckRegression compares cur against base and returns one human-readable

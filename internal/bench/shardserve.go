@@ -87,6 +87,14 @@ type benchShardFleet struct {
 }
 
 func startShardFleet(ds *datasets.Dataset, ckpt []byte, shards int) (*benchShardFleet, error) {
+	return startShardFleetCfg(ds, ckpt, shards, nil)
+}
+
+// startShardFleetCfg is startShardFleet with a config hook: mod (when
+// non-nil) edits the per-rank serve.Config before the fleet starts —
+// abl-stream uses it to switch on the mutation plane.
+func startShardFleetCfg(ds *datasets.Dataset, ckpt []byte, shards int,
+	mod func(*serve.Config)) (*benchShardFleet, error) {
 	f := &benchShardFleet{fabric: comm.NewProcTransport(shards)}
 	var lns []net.Listener
 	var peers []serve.PeerAddr
@@ -104,6 +112,9 @@ func startShardFleet(ds *datasets.Dataset, ckpt []byte, shards int) (*benchShard
 		Arch: serve.ArchGraphSAGE, Hidden: shardServeHidden, NumLayers: shardServeLayers,
 		MaxBatch: 8, MaxWait: time.Millisecond,
 		FeatureCacheBytes: 32 << 20, EmbedCacheBytes: 0,
+	}
+	if mod != nil {
+		mod(&cfg)
 	}
 	for r := 0; r < shards; r++ {
 		srv, err := serve.NewShard(ds, bytes.NewReader(ckpt), cfg, serve.ShardConfig{

@@ -1,0 +1,297 @@
+package bench
+
+// stream.go is the abl-stream ablation: the cost of live graph mutation on
+// the serving path. A 2-shard updates-enabled fleet serves an open-loop
+// Poisson /predict workload twice — once alone (the query-latency arm the
+// regression gate pins), and once co-running an MMPP-modulated edge-insert
+// stream POSTed to /update in batches, with the compaction threshold set
+// low enough that the overlay folds into the base CSR several times inside
+// the window. Reported per arm: sustained QPS and p50/p95/p99 from
+// scheduled arrival (no coordinated omission); for the co-ingest arm also
+// the sustained ingest rate, batch count, compactions, and the mean
+// invalidation fan-out per batch (embedding + feature cache entries killed,
+// from the fleet's stream counters). BENCH_stream.json carries the report;
+// the committed BENCH_baseline/abl-stream.json gates the query-only p95.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"distgnn/internal/datasets"
+	"distgnn/internal/model"
+	"distgnn/internal/nn"
+	"distgnn/internal/serve"
+	"distgnn/internal/train"
+)
+
+const (
+	streamBenchShards  = 2
+	streamBenchEvents  = 480 // edge inserts in the co-ingest arm
+	streamBenchBatch   = 16  // max edges per /update POST
+	streamBenchCompact = 128 // overlay threshold: several compactions per run
+)
+
+// StreamBenchRow is one arm's measurement.
+type StreamBenchRow struct {
+	Arm         string  `json:"arm"` // query-only, co-ingest
+	Requests    int     `json:"requests"`
+	QPS         float64 `json:"qps"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	IngestEPS   float64 `json:"ingest_edges_per_sec"`
+	Batches     int64   `json:"batches"`
+	Compactions int64   `json:"compactions"`
+	// InvalidatedPerBatch is the mean cache entries (embedding + feature,
+	// entry rank) each update batch invalidated — the k-hop fan-out cost.
+	InvalidatedPerBatch float64 `json:"invalidated_per_batch"`
+}
+
+// StreamBenchReport is the BENCH_stream.json schema.
+type StreamBenchReport struct {
+	Experiment string           `json:"experiment"`
+	Scale      float64          `json:"scale"`
+	Epochs     int              `json:"epochs"`
+	Results    []StreamBenchRow `json:"results"`
+	// CoIngestOverheadP95 is co-ingest p95 / query-only p95 — what live
+	// mutation costs the serving tail (≥ 1).
+	CoIngestOverheadP95 float64 `json:"co_ingest_overhead_p95"`
+	// Metrics and CalibSeconds are the regression-gate envelope. Only the
+	// query-only arm is gated: the co-ingest tail depends on ingest/query
+	// interleaving and is reported, not pinned.
+	Metrics      map[string]float64 `json:"metrics"`
+	CalibSeconds float64            `json:"calib_seconds"`
+}
+
+// AblationStream measures serving latency with and without a live edge
+// stream mutating the graph underneath.
+func AblationStream(opt Options) error {
+	ds, err := loadDataset("reddit-sim", opt.scale())
+	if err != nil {
+		return err
+	}
+	res, err := train.SingleSocket(ds, train.SingleConfig{
+		Model:  model.Config{Hidden: shardServeHidden, NumLayers: shardServeLayers, Seed: 1},
+		Epochs: opt.epochs(3), LR: 0.02, UseAdam: true,
+	})
+	if err != nil {
+		return err
+	}
+	var ckpt bytes.Buffer
+	if err := nn.WriteParams(&ckpt, res.Model.Params()); err != nil {
+		return err
+	}
+
+	workSet := make([]int32, min(shardServeWorkSet, ds.G.NumVertices))
+	step := max(1, ds.G.NumVertices/len(workSet))
+	for i := range workSet {
+		workSet[i] = int32((i * step) % ds.G.NumVertices)
+	}
+
+	// Offer ~50% of single-shard closed-loop capacity. The gated arm must
+	// stay far from the queueing knee: at the knee, calibration noise flips
+	// the run between a quiet queue and a collapsed one and the p95 gate
+	// becomes a coin toss. Contention effects still show — the co-ingest
+	// arm adds its own load on top.
+	meanSvc, err := calibrateShardService(ds, ckpt.Bytes(), workSet)
+	if err != nil {
+		return err
+	}
+	meanGap := time.Duration(float64(meanSvc) / 0.5)
+	offered := float64(time.Second) / float64(meanGap)
+
+	rng := rand.New(rand.NewSource(17))
+	sched := poissonArrivals(rng, shardServeRequests, meanGap)
+	window := sched[len(sched)-1]
+
+	// The insert stream spans the same window as the query schedule, MMPP
+	// bursts and all, so contention is sustained rather than front-loaded.
+	events, err := datasets.EdgeStream(datasets.StreamConfig{
+		NumVertices: ds.G.NumVertices, Events: streamBenchEvents,
+		MeanRate: float64(streamBenchEvents) / window.Seconds(), Seed: 5,
+	})
+	if err != nil {
+		return err
+	}
+	// Rescale timestamps to span the query window exactly (the MMPP spends
+	// more wall time in its slow state, so the raw stream runs long);
+	// burst structure is preserved, co-contention covers the whole window.
+	scale := float64(window) / float64(events[len(events)-1].At)
+	for i := range events {
+		events[i].At = time.Duration(float64(events[i].At) * scale)
+	}
+	batches := datasets.Batched(events, streamBenchBatch, window)
+
+	report := StreamBenchReport{Experiment: "abl-stream", Scale: opt.scale(), Epochs: opt.epochs(3)}
+	t := &table{header: []string{"arm", "offered QPS", "QPS", "p50", "p95", "p99",
+		"ingest e/s", "batches", "compactions", "inv/batch"}}
+	for _, arm := range []string{"query-only", "co-ingest"} {
+		ing := batches
+		if arm == "query-only" {
+			ing = nil
+		}
+		row, err := runStreamArm(ds, ckpt.Bytes(), workSet, sched, ing, rng)
+		if err != nil {
+			return err
+		}
+		row.Arm = arm
+		report.Results = append(report.Results, row)
+		t.add(arm, fmt.Sprintf("%.0f", offered), fmt.Sprintf("%.0f", row.QPS),
+			fmt.Sprintf("%.2fms", row.P50MS), fmt.Sprintf("%.2fms", row.P95MS),
+			fmt.Sprintf("%.2fms", row.P99MS), fmt.Sprintf("%.0f", row.IngestEPS),
+			fmt.Sprint(row.Batches), fmt.Sprint(row.Compactions), f2(row.InvalidatedPerBatch))
+	}
+	t.write(opt.Out)
+
+	if q := report.Results[0].P95MS; q > 0 {
+		report.CoIngestOverheadP95 = report.Results[1].P95MS / q
+	}
+	fmt.Fprintf(opt.Out, "\nco-ingest/query-only p95: %.2fx (live mutation's serving-tail cost)\n",
+		report.CoIngestOverheadP95)
+
+	report.Metrics = map[string]float64{
+		"stream_query_p95_ms": report.Results[0].P95MS,
+	}
+	report.CalibSeconds = CalibrationSeconds()
+
+	if opt.JSON != nil {
+		enc := json.NewEncoder(opt.JSON)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	return nil
+}
+
+// runStreamArm replays the query schedule against a fresh updates-enabled
+// fleet, co-running the ingest batches (when non-nil) against rank 0's
+// /update at their stream timestamps.
+func runStreamArm(ds *datasets.Dataset, ckpt []byte, workSet []int32,
+	sched []time.Duration, ingest [][]datasets.EdgeEvent, rng *rand.Rand) (StreamBenchRow, error) {
+	fleet, err := startShardFleetCfg(ds, ckpt, streamBenchShards, func(cfg *serve.Config) {
+		cfg.EnableUpdates = true
+		cfg.CompactThreshold = streamBenchCompact
+		cfg.EmbedCacheBytes = 8 << 20 // invalidation needs resident rows to kill
+	})
+	if err != nil {
+		return StreamBenchRow{}, err
+	}
+	defer fleet.close()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	for r := 0; r < streamBenchShards; r++ {
+		if err := shardQuery(client, fleet.addrs[r], workSet[0]); err != nil {
+			return StreamBenchRow{}, err
+		}
+	}
+
+	vertices := make([]int32, len(sched))
+	for i := range vertices {
+		vertices[i] = workSet[rng.Intn(len(workSet))]
+	}
+	lat := make([]time.Duration, len(sched))
+	errs := make([]error, len(sched))
+	var wg sync.WaitGroup
+	var ingErr error
+	start := time.Now()
+	for i := range sched {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arrive := start.Add(sched[i])
+			time.Sleep(time.Until(arrive))
+			if err := shardQuery(client, fleet.addrs[i%streamBenchShards], vertices[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			lat[i] = time.Since(arrive)
+		}(i)
+	}
+	var ingestDur time.Duration
+	if len(ingest) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, batch := range ingest {
+				time.Sleep(time.Until(start.Add(batch[0].At)))
+				if err := postUpdateBatch(client, fleet.addrs[0], batch); err != nil {
+					ingErr = err
+					return
+				}
+			}
+			ingestDur = time.Since(start)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return StreamBenchRow{}, err
+		}
+	}
+	if ingErr != nil {
+		return StreamBenchRow{}, ingErr
+	}
+	// Query throughput over the query span alone (scheduled arrival to last
+	// completion), not the ingest goroutine's tail.
+	var queryEnd time.Duration
+	for i := range sched {
+		if end := sched[i] + lat[i]; end > queryEnd {
+			queryEnd = end
+		}
+	}
+
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	row := StreamBenchRow{
+		Requests: len(sorted),
+		QPS:      float64(len(sorted)) / queryEnd.Seconds(),
+		P50MS:    percentileMS(sorted, 0.50),
+		P95MS:    percentileMS(sorted, 0.95),
+		P99MS:    percentileMS(sorted, 0.99),
+	}
+	if len(ingest) > 0 {
+		// Entry-rank stream counters: every rank applies every batch, so
+		// rank 0 speaks for fleet-wide update progress.
+		str := fleet.servers[0].StatsSnapshot().Stream
+		if str == nil {
+			return StreamBenchRow{}, fmt.Errorf("abl-stream: fleet has no stream stats")
+		}
+		row.Batches = str.Updates
+		row.Compactions = str.Compactions
+		if ingestDur > 0 {
+			row.IngestEPS = float64(str.EdgesApplied) / ingestDur.Seconds()
+		}
+		if str.Updates > 0 {
+			row.InvalidatedPerBatch =
+				float64(str.InvalidatedEmbeddings+str.InvalidatedFeatures) / float64(str.Updates)
+		}
+	}
+	return row, nil
+}
+
+// postUpdateBatch POSTs one insert batch to addr's /update.
+func postUpdateBatch(client *http.Client, addr string, batch []datasets.EdgeEvent) error {
+	req := serve.UpdateRequest{Edges: make([][2]int32, len(batch))}
+	for i, ev := range batch {
+		req.Edges[i] = [2]int32{ev.Edge.Src, ev.Edge.Dst}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(fmt.Sprintf("http://%s/update", addr), "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("abl-stream: /update status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -93,6 +93,22 @@ func (c *Core[K, V]) evictToFit() int {
 	return evicted
 }
 
+// Remove deletes key if resident, releasing its budget, and reports
+// whether an entry was removed — the targeted-invalidation primitive the
+// mutation plane uses (eviction removes by recency; Remove removes by
+// identity).
+func (c *Core[K, V]) Remove(key K) bool {
+	el, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*coreEntry[K, V])
+	c.order.Remove(el)
+	delete(c.index, key)
+	c.used -= ent.size
+	return true
+}
+
 // Used returns the bytes currently resident.
 func (c *Core[K, V]) Used() int { return c.used }
 

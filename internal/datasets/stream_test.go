@@ -1,0 +1,119 @@
+package datasets
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestEdgeStreamDeterministic(t *testing.T) {
+	cfg := StreamConfig{NumVertices: 256, Events: 500, Seed: 7}
+	a, err := EdgeStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EdgeStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	cfg.Seed = 8
+	c, err := EdgeStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestEdgeStreamShape(t *testing.T) {
+	const n, events = 128, 2000
+	evs, err := EdgeStream(StreamConfig{NumVertices: n, Events: events, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != events {
+		t.Fatalf("got %d events, want %d", len(evs), events)
+	}
+	var bursts int
+	for i, ev := range evs {
+		if ev.Edge.Src < 0 || ev.Edge.Src >= n || ev.Edge.Dst < 0 || ev.Edge.Dst >= n {
+			t.Fatalf("event %d edge %d→%d out of range [0,%d)", i, ev.Edge.Src, ev.Edge.Dst, n)
+		}
+		if ev.At <= 0 {
+			t.Fatalf("event %d has non-positive timestamp %v", i, ev.At)
+		}
+		if i > 0 && ev.At <= evs[i-1].At {
+			t.Fatalf("timestamps not strictly increasing at %d: %v then %v", i, evs[i-1].At, ev.At)
+		}
+		if ev.Burst {
+			bursts++
+		}
+	}
+	// The MMPP must actually alternate: both states visited, neither
+	// dominating completely.
+	if bursts == 0 || bursts == events {
+		t.Fatalf("MMPP never alternated: %d/%d burst events", bursts, events)
+	}
+	// Mean inter-arrival in the burst state must be shorter than in the
+	// quiet state (that is the whole point of the modulation).
+	var burstGap, quietGap time.Duration
+	var nb, nq int
+	for i := 1; i < len(evs); i++ {
+		gap := evs[i].At - evs[i-1].At
+		if evs[i].Burst {
+			burstGap += gap
+			nb++
+		} else {
+			quietGap += gap
+			nq++
+		}
+	}
+	if nb == 0 || nq == 0 || burstGap/time.Duration(nb) >= quietGap/time.Duration(nq) {
+		t.Fatalf("burst mean gap %v not below quiet mean gap %v",
+			burstGap/time.Duration(nb), quietGap/time.Duration(nq))
+	}
+}
+
+func TestEdgeStreamValidation(t *testing.T) {
+	if _, err := EdgeStream(StreamConfig{NumVertices: 1, Events: 10}); err == nil {
+		t.Fatal("accepted NumVertices < 2")
+	}
+	if _, err := EdgeStream(StreamConfig{NumVertices: 16, Events: 0}); err == nil {
+		t.Fatal("accepted Events < 1")
+	}
+	if _, err := EdgeStream(StreamConfig{NumVertices: 16, Events: 1, MeanRate: -1}); err == nil {
+		t.Fatal("accepted negative MeanRate")
+	}
+}
+
+func TestBatched(t *testing.T) {
+	evs, err := EdgeStream(StreamConfig{NumVertices: 64, Events: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := Batched(evs, 16, 5*time.Millisecond)
+	var total int
+	for b, batch := range batches {
+		if len(batch) == 0 || len(batch) > 16 {
+			t.Fatalf("batch %d has %d events", b, len(batch))
+		}
+		total += len(batch)
+	}
+	if total != len(evs) {
+		t.Fatalf("batches hold %d events, stream has %d", total, len(evs))
+	}
+	// Order is preserved across the batch boundaries.
+	var last time.Duration
+	for _, batch := range batches {
+		for _, ev := range batch {
+			if ev.At <= last {
+				t.Fatal("batching reordered events")
+			}
+			last = ev.At
+		}
+	}
+}

@@ -140,6 +140,21 @@ func (c *Cache[K, V]) Put(key K, value V, payloadBytes int) {
 	s.mu.Unlock()
 }
 
+// Remove deletes key if resident and reports whether an entry was
+// removed. Targeted invalidation for the mutation plane: unlike Reset it
+// touches only the named key, and removals are not counted as evictions
+// (the eviction counter keeps meaning "pushed out by the byte budget").
+func (c *Cache[K, V]) Remove(key K) bool {
+	if c == nil {
+		return false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	ok := s.core.Remove(key)
+	s.mu.Unlock()
+	return ok
+}
+
 // Stats aggregates counters across shards.
 func (c *Cache[K, V]) Stats() CacheStats {
 	if c == nil {

@@ -35,6 +35,11 @@ type Sharded struct {
 	rr           *comm.ReqRep
 	remote       *Cache[int32, []float32]
 	tracer       *obs.Tracer // nil disables peer-served trace records
+	// updateHandler receives mutation frames multiplexed onto the fetch
+	// endpoint (the transport allows one ReqRep responder per rank, so the
+	// update plane shares it via the opcode word). Nil until the serving
+	// layer registers one with SetUpdateHandler.
+	updateHandler atomic.Pointer[comm.ReqRepTracedHandler]
 
 	haloHits     atomic.Int64
 	haloMisses   atomic.Int64
@@ -187,6 +192,20 @@ func (st *Sharded) Owners() []int32 { return st.owners }
 // endpoint. The transport stays owned by the caller. Idempotent.
 func (st *Sharded) Close() { st.rr.Close() }
 
+// InvalidateRemote drops the given vertices from the halo LRU and returns
+// how many entries were actually resident — the mutation plane's targeted
+// invalidation (edge inserts do not change raw features, but dropping the
+// touched rows keeps the cache contract simple and auditable).
+func (st *Sharded) InvalidateRemote(ids []int32) int {
+	n := 0
+	for _, v := range ids {
+		if st.remote.Remove(v) {
+			n++
+		}
+	}
+	return n
+}
+
 // Stats snapshots the store's counters.
 func (st *Sharded) Stats() ShardedStats {
 	return ShardedStats{
@@ -203,14 +222,46 @@ func (st *Sharded) Stats() ShardedStats {
 	}
 }
 
+// updateOpcode marks a request frame as a graph-mutation message rather
+// than a halo fetch. Fetch frames are vertex-ID lists and every vertex ID
+// is ≥ 0, so a negative leading word is unambiguous.
+const updateOpcode int32 = -2
+
+// SetUpdateHandler registers the receiver for mutation frames sent with
+// CallUpdate. The serving layer installs its update-apply hook here after
+// construction; frames arriving before registration are rejected with an
+// error (the sender retries or fails loudly — never silently dropped).
+func (st *Sharded) SetUpdateHandler(fn comm.ReqRepTracedHandler) {
+	st.updateHandler.Store(&fn)
+}
+
+// CallUpdate sends a mutation frame (bit-packed int32 payload) to peer's
+// update handler over the shared fetch endpoint and returns the reply.
+func (st *Sharded) CallUpdate(peer int, trace uint64, payload []int32) ([]float32, error) {
+	frame := make([]int32, 0, len(payload)+1)
+	frame = append(frame, updateOpcode)
+	frame = append(frame, payload...)
+	return st.rr.CallTraced(peer, trace, comm.Int32sToF32(frame))
+}
+
 // handleFetch answers a peer's halo feature fetch: the request is vertex
 // IDs (bit-packed int32s), the reply their owned feature rows concatenated
 // in request order. A nonzero trace ID (the requester's) produces a "halo"
 // trace record on this rank's tracer, so a tail request's halo hops show up
 // in the owner rank's ring under the same ID the frontend minted.
+// Mutation frames (leading updateOpcode word) are dispatched to the
+// registered update handler instead.
 func (st *Sharded) handleFetch(from int, trace uint64, req []float32) ([]float32, error) {
 	start := time.Now()
 	ids := comm.F32ToInt32s(req)
+	if len(ids) > 0 && ids[0] == updateOpcode {
+		fn := st.updateHandler.Load()
+		if fn == nil {
+			return nil, fmt.Errorf("featstore: rank %d has no update handler registered (frame from rank %d)",
+				st.rank, from)
+		}
+		return (*fn)(from, trace, req[1:])
+	}
 	out := make([]float32, 0, len(ids)*st.featDim)
 	for _, v := range ids {
 		if v < 0 || int(v) >= len(st.slabRow) || st.slabRow[v] < 0 {

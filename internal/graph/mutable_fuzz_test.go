@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzMutableVsRebuild is the overlay fuzz target: the fuzzer drives a
+// random interleaving of Insert / AddVertices / Compact operations
+// decoded from the input bytes, and after every operation the live
+// snapshot is checked against the naive reference model — a CSR rebuilt
+// from scratch over the accumulated edge list. Neighbor lists and degrees
+// must match exactly at every step, pre- and post-compaction.
+func FuzzMutableVsRebuild(f *testing.F) {
+	f.Add([]byte{0x10, 0x01, 0x23, 0x02, 0x01, 0x10, 0xFE, 0x45, 0x67})
+	f.Add([]byte{0x05, 0xFE, 0xFF, 0x00})
+	f.Add([]byte{0x3F, 0x00, 0x01, 0x02, 0x03, 0xFF, 0x04, 0x05, 0xFE, 0x06, 0x07})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		// First byte sizes the initial graph; the rest is an op stream:
+		// 0xFF → Compact, 0xFE → AddVertices(1+next%3), otherwise a pair
+		// of bytes is one inserted edge (src, dst mod current NumV), with
+		// a batch break every 3 edges so batch atomicity is exercised.
+		numV := 2 + int(data[0]%14)
+		data = data[1:]
+		m := NewMutable(MustCSR(numV, nil), 0)
+		var all []Edge
+		var batch []Edge
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			if _, err := m.Insert(batch); err != nil {
+				t.Fatalf("insert %v: %v", batch, err)
+			}
+			all = append(all, batch...)
+			batch = nil
+		}
+		check := func() {
+			s := m.Snapshot()
+			ref := MustCSR(numV, all)
+			if s.NumV() != numV || s.NumE() != len(all) {
+				t.Fatalf("shape (%d,%d), want (%d,%d)", s.NumV(), s.NumE(), numV, len(all))
+			}
+			for v := 0; v < numV; v++ {
+				got, want := s.InNeighbors(v), ref.InNeighbors(v)
+				if len(got) != len(want) {
+					t.Fatalf("vertex %d: degree %d, want %d", v, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("vertex %d: neighbors %v, want %v", v, got, want)
+					}
+				}
+			}
+		}
+		for i := 0; i < len(data); i++ {
+			switch data[i] {
+			case 0xFF:
+				flush()
+				m.Compact()
+				check()
+			case 0xFE:
+				flush()
+				n := 1
+				if i+1 < len(data) {
+					i++
+					n += int(data[i] % 3)
+				}
+				m.AddVertices(n)
+				numV += n
+				check()
+			default:
+				if i+1 >= len(data) {
+					break
+				}
+				src := int32(int(data[i]) % numV)
+				i++
+				dst := int32(int(data[i]) % numV)
+				batch = append(batch, Edge{Src: src, Dst: dst})
+				if len(batch) == 3 {
+					flush()
+					check()
+				}
+			}
+		}
+		flush()
+		check()
+	})
+}

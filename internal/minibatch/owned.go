@@ -27,8 +27,8 @@ func SplitByOwner(frontier []int32, owners []int32, k int) [][]int32 {
 // full-neighborhood expansion (the returned Sample matches FullSample
 // element for element), plus the input frontier split by owning shard for
 // the feature gather. owners maps global vertex ID to owner shard in
-// [0, k).
-func FullSampleOwned(g *graph.CSR, seeds []int32, hops int, owners []int32, k int) (*Sample, [][]int32) {
+// [0, k). g is any graph.Topology (immutable CSR or mutation snapshot).
+func FullSampleOwned(g graph.Topology, seeds []int32, hops int, owners []int32, k int) (*Sample, [][]int32) {
 	s := FullSample(g, seeds, hops)
 	return s, SplitByOwner(s.InputFrontier(), owners, k)
 }

@@ -133,8 +133,10 @@ func (s *Sampler) expand(dst []int32, fanout int) (*Block, []int32) {
 // aggregation over the result reproduces the full-graph aggregation
 // kernel's per-destination summation order bit for bit (the unblocked
 // kernel and Alg. 3's reordered variant both accumulate each output element
-// sequentially over the CSR neighbor list).
-func FullSample(g *graph.CSR, seeds []int32, hops int) *Sample {
+// sequentially over the CSR neighbor list). g is any graph.Topology — the
+// immutable CSR or a mutation-layer Snapshot, whose InNeighbors contract
+// guarantees the same source-sorted enumeration either way.
+func FullSample(g graph.Topology, seeds []int32, hops int) *Sample {
 	out := &Sample{}
 	out.Frontiers = append(out.Frontiers, append([]int32(nil), seeds...))
 	cur := out.Frontiers[0]
@@ -150,7 +152,7 @@ func FullSample(g *graph.CSR, seeds []int32, hops int) *Sample {
 // expandFull is Sampler.expand with every in-neighbor taken: dst vertices
 // are interned first (the DGL dst ⊆ src prefix convention), then each dst's
 // full CSR neighbor list in order.
-func expandFull(g *graph.CSR, dst []int32) (*Block, []int32) {
+func expandFull(g graph.Topology, dst []int32) (*Block, []int32) {
 	local := make(map[int32]int32, 2*len(dst))
 	var next []int32
 	intern := func(gv int32) int32 {

@@ -24,6 +24,7 @@ import (
 
 	"distgnn/internal/datasets"
 	"distgnn/internal/featstore"
+	"distgnn/internal/graph"
 	"distgnn/internal/minibatch"
 	"distgnn/internal/nn"
 	"distgnn/internal/obs"
@@ -120,7 +121,7 @@ type featureSource interface {
 // owner and the split is computed exactly once per request. tc (nil when
 // untraced) receives the stage spans the source can attribute.
 type exactSampler interface {
-	sampleExact(seeds []int32, hops int, tc *obs.TraceCtx) (*minibatch.Sample, *tensor.Matrix, error)
+	sampleExact(topo graph.Topology, seeds []int32, hops int, tc *obs.TraceCtx) (*minibatch.Sample, *tensor.Matrix, error)
 }
 
 // Engine runs forward-only inference over k-hop blocks. It is safe for
@@ -139,6 +140,11 @@ type Engine struct {
 	// exact-mode GraphSAGE path aggregates straight from it through the
 	// fused gather kernel when the feature cache is disabled.
 	feats spmm.FeatRows
+	// mut, when non-nil, is the graph mutation layer (Config.EnableUpdates):
+	// each request loads one epoch-versioned Snapshot and extracts its
+	// blocks against that consistent view. Nil = frozen graph, identical
+	// behavior to before the mutation plane existed.
+	mut *graph.Mutable
 
 	samplerMu sync.Mutex
 	sampler   *minibatch.Sampler
@@ -296,6 +302,28 @@ func (e *Engine) Stats() EngineStats {
 	}
 }
 
+// topo returns the per-request topology view: the current mutation
+// snapshot when updates are enabled, the frozen dataset CSR otherwise.
+func (e *Engine) topo() graph.Topology {
+	if e.mut != nil {
+		return e.mut.Snapshot()
+	}
+	return e.ds.G
+}
+
+// invalidateFeatures drops the given vertices from the gathered-feature
+// cache and returns how many were resident — the feature leg of the
+// mutation plane's targeted invalidation.
+func (e *Engine) invalidateFeatures(ids []int32) int {
+	n := 0
+	for _, v := range ids {
+		if e.feat.Remove(v) {
+			n++
+		}
+	}
+	return n
+}
+
 // Infer runs forward-only inference for the seed vertices and returns the
 // final-layer output matrix, one row per seed in input order. Duplicate
 // seeds are allowed (each gets its own row).
@@ -311,9 +339,12 @@ func (e *Engine) InferTraced(seeds []int32, tc *obs.TraceCtx) (*tensor.Matrix, e
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("serve: empty seed set")
 	}
+	// One topology load per request: every block of this inference is
+	// extracted against the same snapshot even if updates land mid-flight.
+	topo := e.topo()
 	for _, v := range seeds {
-		if v < 0 || int(v) >= e.ds.G.NumVertices {
-			return nil, fmt.Errorf("serve: vertex %d out of range [0,%d)", v, e.ds.G.NumVertices)
+		if v < 0 || int(v) >= topo.NumV() {
+			return nil, fmt.Errorf("serve: vertex %d out of range [0,%d)", v, topo.NumV())
 		}
 	}
 	var s *minibatch.Sample
@@ -335,7 +366,7 @@ func (e *Engine) InferTraced(seeds []int32, tc *obs.TraceCtx) (*tensor.Matrix, e
 		// frontier rows straight from e.feats (fp32 bit-identical to the
 		// gathered path, bf16 decoded on load).
 		stop := tc.StartSpan("sample")
-		s = minibatch.FullSample(e.ds.G, seeds, e.spec.NumLayers)
+		s = minibatch.FullSample(topo, seeds, e.spec.NumLayers)
 		stop()
 		frontier := s.InputFrontier()
 		e.inferences.Add(1)
@@ -347,11 +378,11 @@ func (e *Engine) InferTraced(seeds []int32, tc *obs.TraceCtx) (*tensor.Matrix, e
 		return out, nil
 	default:
 		if es, ok := e.src.(exactSampler); ok {
-			s, x, err = es.sampleExact(seeds, e.spec.NumLayers, tc)
+			s, x, err = es.sampleExact(topo, seeds, e.spec.NumLayers, tc)
 			break
 		}
 		stop := tc.StartSpan("sample")
-		s = minibatch.FullSample(e.ds.G, seeds, e.spec.NumLayers)
+		s = minibatch.FullSample(topo, seeds, e.spec.NumLayers)
 		stop()
 		stop = tc.StartSpan("gather")
 		x, err = e.src.Gather(s.InputFrontier())

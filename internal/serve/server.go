@@ -52,6 +52,16 @@ type Config struct {
 	// a new checkpoint (build-validate-flip; in-flight requests finish on
 	// the old engine). Off by default — reloading reads server-side files.
 	EnableReload bool
+	// EnableUpdates exposes POST /update: streaming edge inserts applied to
+	// an epoch-versioned mutation layer over the dataset CSR, with the
+	// affected k-hop fan-out invalidated in the feature and embedding
+	// caches. Exact-mode only (sampled inference has no bit-identity
+	// contract to preserve). Off by default — the graph stays frozen.
+	EnableUpdates bool
+	// CompactThreshold is the overlay size (edges) past which an update
+	// triggers a background compaction into a fresh base CSR. 0 selects
+	// the default (4096); negative disables automatic compaction.
+	CompactThreshold int
 	// FeatureCacheBytes budgets the gathered-input-feature cache;
 	// EmbedCacheBytes budgets the final-layer embedding cache. ≤ 0
 	// disables the respective cache.
@@ -97,7 +107,8 @@ type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
 	start  time.Time
-	shard  *shardState // nil in single-process mode
+	shard  *shardState  // nil in single-process mode
+	upd    *updateState // nil when updates are disabled
 	proxy  http.Client
 	obsm   *serveMetrics // nil when metrics are off
 	tracer *obs.Tracer   // nil-safe: nil disables tracing
@@ -115,6 +126,9 @@ type Server struct {
 // descriptive error rather than serving garbage.
 func New(ds *datasets.Dataset, checkpoint io.Reader, cfg Config) (*Server, error) {
 	cfg.applyDefaults()
+	if cfg.EnableUpdates && len(cfg.Fanouts) > 0 {
+		return nil, fmt.Errorf("serve: streaming updates are exact-mode only (drop -fanouts)")
+	}
 	eng, err := NewEngine(ds, ModelSpec{
 		Arch: cfg.Arch, Hidden: cfg.Hidden, OutDim: cfg.OutDim,
 		NumLayers: cfg.NumLayers, NumHeads: cfg.NumHeads,
@@ -142,11 +156,15 @@ func newServer(eng *Engine, cfg Config) *Server {
 		tracer: cfg.Tracer,
 	}
 	s.engine.Store(eng)
+	if cfg.EnableUpdates {
+		s.upd = newUpdateState(eng, cfg)
+	}
 	s.co = NewCoalescer(s.inferAndCache, cfg.MaxBatch, cfg.MaxWait, cfg.MaxPending)
 	s.mux.HandleFunc("/predict", s.handlePredict)
 	s.mux.HandleFunc("/embed", s.handleEmbed)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	// Both handlers are nil-safe: with the plane off they serve 404.
 	s.mux.HandleFunc("/metrics", cfg.Metrics.Handler())
@@ -154,6 +172,9 @@ func newServer(eng *Engine, cfg Config) *Server {
 	if cfg.Metrics != nil {
 		s.obsm = newServeMetrics(cfg.Metrics)
 		s.registerMetrics(cfg.Metrics)
+		if s.upd != nil {
+			s.registerStreamMetrics(cfg.Metrics)
+		}
 	}
 	return s
 }
@@ -207,19 +228,39 @@ func (s *Server) Close() {
 // requests for the same vertices short-circuit inference entirely. The
 // engine is loaded once: a batch in flight across a /reload finishes on
 // the engine it started with, and its rows are not published if the flip
-// (and the cache reset that follows it) happened underneath.
+// (and the cache reset that follows it) happened underneath. With updates
+// enabled the same guard extends to the topology: rows are published only
+// under the updater's read lock with the snapshot epoch unchanged since
+// before inference, so a batch computed on a pre-update graph can never
+// land in the cache after that update's invalidation sweep.
 func (s *Server) inferAndCache(vertices []int32, bt *obs.TraceCtx) (*tensor.Matrix, error) {
 	eng := s.engine.Load()
+	var epoch uint64
+	if s.upd != nil {
+		epoch = s.upd.mut.Snapshot().Epoch()
+	}
 	out, err := eng.InferTraced(vertices, bt)
 	if err != nil {
 		return nil, err
 	}
-	if s.engine.Load() == eng {
+	publish := func() {
+		if s.engine.Load() != eng {
+			return
+		}
 		for i, v := range vertices {
 			row := append([]float32(nil), out.Row(i)...)
 			s.emb.Put(v, row, 4*len(row))
 		}
 	}
+	if s.upd == nil {
+		publish()
+		return out, nil
+	}
+	s.upd.mu.RLock()
+	if s.upd.mut.Snapshot().Epoch() == epoch {
+		publish()
+	}
+	s.upd.mu.RUnlock()
 	return out, nil
 }
 
@@ -248,6 +289,7 @@ func (s *Server) Reload(checkpoint io.Reader) error {
 	eng.feats = old.feats
 	eng.feat = old.feat
 	eng.src = old.src
+	eng.mut = old.mut
 	if err := nn.ReadParams(checkpoint, eng.Params()); err != nil {
 		return fmt.Errorf("serve: reload checkpoint does not match serving model %s: %w", spec, err)
 	}
@@ -364,6 +406,7 @@ type Stats struct {
 	FeatureCache   CacheStats     `json:"feature_cache"`
 	EmbeddingCache CacheStats     `json:"embedding_cache"`
 	Shard          *ShardStats    `json:"shard,omitempty"`
+	Stream         *StreamStats   `json:"stream,omitempty"`
 }
 
 // StatsSnapshot returns the same snapshot /stats serves.
@@ -385,6 +428,10 @@ func (s *Server) StatsSnapshot() Stats {
 	if s.shard != nil {
 		sh := s.shard.stats()
 		st.Shard = &sh
+	}
+	if s.upd != nil {
+		str := s.upd.streamStats()
+		st.Stream = &str
 	}
 	return st
 }
@@ -558,7 +605,7 @@ func (s *Server) vertexParam(w http.ResponseWriter, r *http.Request) (int32, boo
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad vertex %q: %v", raw, err))
 		return 0, false
 	}
-	if n := s.engine.Load().ds.G.NumVertices; v < 0 || int(v) >= n {
+	if n := s.engine.Load().topo().NumV(); v < 0 || int(v) >= n {
 		httpError(w, http.StatusBadRequest,
 			fmt.Errorf("vertex %d out of range [0,%d)", v, n))
 		return 0, false

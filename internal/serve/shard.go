@@ -265,13 +265,14 @@ type shardFeatures struct {
 // sampleExact is the shard engine's exact-mode block extraction: the
 // partition-aware FullSampleOwned builds the identical Sample FullSample
 // would (the bit-identity contract) and hands the input frontier over
-// pre-split by owner, so ownership is resolved once per request. A non-nil
-// tc gets sample/gather spans plus the per-peer halo RTT spans the traced
-// gather records.
-func (sf *shardFeatures) sampleExact(seeds []int32, hops int, tc *obs.TraceCtx) (*minibatch.Sample, *tensor.Matrix, error) {
+// pre-split by owner, so ownership is resolved once per request. topo is
+// the engine's per-request topology view (the frozen CSR, or the mutation
+// snapshot the request loaded). A non-nil tc gets sample/gather spans plus
+// the per-peer halo RTT spans the traced gather records.
+func (sf *shardFeatures) sampleExact(topo graph.Topology, seeds []int32, hops int, tc *obs.TraceCtx) (*minibatch.Sample, *tensor.Matrix, error) {
 	fs := sf.st.fs
 	stop := tc.StartSpan("sample")
-	s, split := minibatch.FullSampleOwned(sf.st.g, seeds, hops, fs.Owners(), fs.Shards())
+	s, split := minibatch.FullSampleOwned(topo, seeds, hops, fs.Owners(), fs.Shards())
 	stop()
 	stop = tc.StartSpan("gather")
 	x, err := fs.GatherSplitTraced(s.InputFrontier(), split, tc)
@@ -321,6 +322,12 @@ func NewShard(ds *datasets.Dataset, checkpoint io.Reader, cfg Config, sc ShardCo
 	}
 	s := newServer(eng, cfg)
 	s.shard = st
+	if s.upd != nil {
+		// Receive the fleet's update fan-out frames on the shared featstore
+		// endpoint: every rank applies every batch so the replicated
+		// topology stays identical fleet-wide.
+		st.fs.SetUpdateHandler(s.handleUpdateFrame)
+	}
 	if cfg.Metrics != nil {
 		s.registerShardMetrics(cfg.Metrics)
 	}

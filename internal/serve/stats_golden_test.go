@@ -65,6 +65,21 @@ var statsGoldenShardKeys = []string{
 	"shard.shards",
 }
 
+// statsGoldenStreamKeys extends the golden with the streaming-updates block
+// served when the server runs with -updates.
+var statsGoldenStreamKeys = []string{
+	"stream",
+	"stream.base_edges",
+	"stream.compactions",
+	"stream.edges_applied",
+	"stream.epoch",
+	"stream.invalidated_embeddings",
+	"stream.invalidated_features",
+	"stream.overlay_edges",
+	"stream.overlay_vertices",
+	"stream.updates",
+}
+
 // cacheGoldenKeys is the schema of every *_cache block.
 var cacheGoldenKeys = []string{
 	"capacity_bytes", "entries", "evictions", "hits", "misses", "puts", "used_bytes",
@@ -166,6 +181,19 @@ func TestStatsSchemaGolden(t *testing.T) {
 	sort.Strings(want)
 	if got := fetchStatsKeys(t, shard.Handler()); !reflect.DeepEqual(got, want) {
 		t.Fatalf("shard /stats schema drifted:\n got %v\nwant %v", got, want)
+	}
+
+	ucfg := cfg
+	ucfg.EnableUpdates = true
+	upd, err := New(ds, bytes.NewReader(ckpt), ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upd.Close()
+	want = append(append([]string(nil), statsGoldenKeys...), statsGoldenStreamKeys...)
+	sort.Strings(want)
+	if got := fetchStatsKeys(t, upd.Handler()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("updates-enabled /stats schema drifted:\n got %v\nwant %v", got, want)
 	}
 }
 
